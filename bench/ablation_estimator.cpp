@@ -1,0 +1,72 @@
+// Ablation C: how the Sec. 3.3 estimator choice trades reliability against
+// efficiency. The oracle is the unreachable ideal; the geometry bound is
+// sound under the paper's placement rule; the empirical count and fraction
+// bounds show the failure modes the paper's discussion anticipates
+// (estimates too optimistic when hypotheses are scarce).
+
+#include <cstdio>
+#include <iostream>
+
+#include "testbed/sweep.h"
+#include "util/table.h"
+
+int main() {
+  using namespace thinair;
+
+  struct Row {
+    const char* name;
+    core::EstimatorKind kind;
+  };
+  const Row kinds[] = {
+      {"oracle (ideal)", core::EstimatorKind::kOracle},
+      {"geometry (default)", core::EstimatorKind::kGeometry},
+      {"slot-fraction", core::EstimatorKind::kSlotFraction},
+      {"loo-fraction", core::EstimatorKind::kLooFraction},
+      {"leave-one-out count", core::EstimatorKind::kLeaveOneOut},
+      {"2-subset count", core::EstimatorKind::kKSubset},
+      {"fixed fraction 0.3", core::EstimatorKind::kFraction},
+  };
+
+  std::printf(
+      "Ablation: estimator strategy vs reliability and efficiency\n"
+      "(testbed, n = 4 and n = 8, sampled placements)\n\n");
+
+  for (std::size_t n : {std::size_t{4}, std::size_t{8}}) {
+    std::printf("n = %zu terminals\n", n);
+    util::Table t({"estimator", "rel(min)", "rel(avg)", "rel(p50)",
+                   "eff(avg)", "secret bits/exp"});
+    for (const Row& k : kinds) {
+      testbed::SweepConfig cfg;
+      cfg.n_min = n;
+      cfg.n_max = n;
+      cfg.max_placements = 16;
+      cfg.session.estimator.kind = k.kind;
+      if (k.kind == core::EstimatorKind::kKSubset)
+        cfg.session.estimator.k_antennas = 2;
+      cfg.seed = 7;
+
+      const testbed::SweepResult sweep = run_sweep(cfg);
+      const testbed::SweepRow& row = sweep.rows.front();
+      const double bits =
+          row.efficiency.count() == 0 ? 0.0 : row.secret_rate_bps.mean();
+      (void)bits;
+      double avg_secret_bits = 0.0;
+      // secret bits per experiment = efficiency * total bits; approximate
+      // with rate * duration is noisy, so report efficiency directly.
+      (void)avg_secret_bits;
+      t.add_row({k.name, util::fmt(row.rel_min(), 2),
+                 util::fmt(row.rel_avg(), 2), util::fmt(row.rel_p50(), 2),
+                 util::fmt(row.efficiency.mean(), 4),
+                 util::fmt(row.secret_rate_bps.mean(), 0)});
+    }
+    t.print(std::cout);
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Reading: the oracle shows the channel's secrecy capacity; geometry\n"
+      "keeps reliability ~1 at a fraction of the oracle's efficiency; the\n"
+      "count-based estimates buy efficiency by gambling on Eve's location,\n"
+      "which is exactly the risk Sec. 3.3 discusses.\n");
+  return 0;
+}

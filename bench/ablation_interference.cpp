@@ -1,0 +1,49 @@
+// Ablation A: the value of artificial interference (Sec. 3.3 / 4).
+//
+// The paper's jammers exist to guarantee that Eve misses a minimum
+// fraction of packets wherever she stands. With the interferers switched
+// off, the indoor line-of-sight channel is nearly lossless: everyone —
+// including Eve — receives almost everything, and the achievable secret
+// rate collapses toward zero (there is nothing Eve misses to distil).
+
+#include <cstdio>
+#include <iostream>
+
+#include "testbed/sweep.h"
+#include "util/table.h"
+
+int main() {
+  using namespace thinair;
+
+  std::printf(
+      "Ablation: artificial interference on vs off (geometry estimator)\n\n");
+
+  util::Table t({"n", "interference", "rel(min)", "rel(p50)", "eff(avg)",
+                 "secret rate (bps wall-clock)"});
+
+  for (std::size_t n : {std::size_t{4}, std::size_t{8}}) {
+    for (bool on : {true, false}) {
+      testbed::SweepConfig cfg;
+      cfg.n_min = n;
+      cfg.n_max = n;
+      cfg.max_placements = 12;
+      cfg.channel.interference_enabled = on;
+      cfg.seed = 99;
+
+      const testbed::SweepResult sweep = run_sweep(cfg);
+      const testbed::SweepRow& row = sweep.rows.front();
+      t.add_row({std::to_string(n), on ? "on" : "off",
+                 util::fmt(row.rel_min(), 2), util::fmt(row.rel_p50(), 2),
+                 util::fmt(row.efficiency.mean(), 4),
+                 util::fmt(row.secret_rate_bps.mean(), 0)});
+    }
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\nReading: without jamming the broadcast channel barely erases\n"
+      "anything, so the estimators find (correctly) that Eve misses ~no\n"
+      "packets and the protocol generates ~no secret bits — the paper's\n"
+      "motivation for engineering the channel conditions.\n");
+  return 0;
+}

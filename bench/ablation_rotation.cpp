@@ -1,0 +1,41 @@
+// Ablation B: role rotation (Sec. 3.2, "avoiding the worst-case
+// scenario"). With a fixed Alice, the group's secret rate is hostage to
+// Alice's position relative to the interference corridors and to the
+// weakest Alice-terminal channel; rotating the role averages positions and
+// lets every terminal contribute rounds where its own channels are good.
+
+#include <cstdio>
+#include <iostream>
+
+#include "testbed/sweep.h"
+#include "util/table.h"
+
+int main() {
+  using namespace thinair;
+
+  std::printf("Ablation: rotating vs fixed Alice (n = 6, geometry)\n\n");
+
+  util::Table t({"alice", "rel(min)", "rel(avg)", "eff(min)", "eff(avg)"});
+  for (bool rotate : {true, false}) {
+    testbed::SweepConfig cfg;
+    cfg.n_min = 6;
+    cfg.n_max = 6;
+    cfg.max_placements = 20;
+    cfg.session.rotate_alice = rotate;
+    cfg.session.rounds = 6;  // same number of rounds in both arms
+    cfg.seed = 1234;
+
+    const testbed::SweepResult sweep = run_sweep(cfg);
+    const testbed::SweepRow& row = sweep.rows.front();
+    t.add_row({rotate ? "rotating" : "fixed", util::fmt(row.rel_min(), 2),
+               util::fmt(row.rel_avg(), 2), util::fmt(row.efficiency.min(), 4),
+               util::fmt(row.efficiency.mean(), 4)});
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\nReading: the minimum efficiency across placements is the paper's\n"
+      "worst case; rotation lifts it because no single badly-placed Alice\n"
+      "determines every round.\n");
+  return 0;
+}

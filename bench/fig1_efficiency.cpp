@@ -1,0 +1,106 @@
+// Regenerates Figure 1: maximum efficiency of the group algorithm
+// (continuous lines in the paper) and the unicast algorithm (dashed lines)
+// as a function of the erasure probability, for n = 2, 3, 6, 10 and the
+// n -> infinity limit.
+//
+// Two series per algorithm:
+//   - the closed forms derived under the paper's simplifying assumptions
+//     (symmetric i.i.d. erasures, oracle estimate of Eve's misses);
+//   - Monte-Carlo protocol runs on the simulated broadcast network with
+//     the oracle estimator, reported as data-plane efficiency (secret
+//     packets / distinct data packets), the quantity the closed forms
+//     model.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "analysis/efficiency.h"
+#include "channel/erasure.h"
+#include "core/session.h"
+#include "core/unicast.h"
+#include "net/medium.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace thinair;
+
+struct McResult {
+  double group = 0.0;
+  double unicast = 0.0;
+};
+
+McResult monte_carlo(double p, std::size_t n, std::uint64_t seed) {
+  core::SessionConfig cfg;
+  cfg.x_packets_per_round = 200;
+  cfg.payload_bytes = 100;
+  cfg.rounds = 6;
+  cfg.estimator.kind = core::EstimatorKind::kOracle;
+  cfg.pool_strategy = core::PoolStrategy::kClassShared;
+
+  McResult out;
+  {
+    channel::IidErasure ch(p);
+    net::Medium medium(ch, channel::Rng(seed));
+    for (std::size_t i = 0; i < n; ++i)
+      medium.attach(packet::NodeId{static_cast<std::uint16_t>(i)},
+                    net::Role::kTerminal);
+    medium.attach(packet::NodeId{static_cast<std::uint16_t>(n)},
+                  net::Role::kEavesdropper);
+    core::GroupSecretSession session(medium, cfg);
+    out.group = session.run().data_efficiency(cfg.payload_bytes);
+  }
+  {
+    channel::IidErasure ch(p);
+    net::Medium medium(ch, channel::Rng(seed + 1));
+    for (std::size_t i = 0; i < n; ++i)
+      medium.attach(packet::NodeId{static_cast<std::uint16_t>(i)},
+                    net::Role::kTerminal);
+    medium.attach(packet::NodeId{static_cast<std::uint16_t>(n)},
+                  net::Role::kEavesdropper);
+    core::UnicastSession session(medium, cfg);
+    out.unicast = session.run().data_efficiency(cfg.payload_bytes);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Figure 1 — maximum efficiency vs erasure probability\n"
+      "(group algorithm = paper's continuous lines; unicast = dashed)\n\n");
+
+  const std::vector<std::size_t> ns{2, 3, 6, 10};
+  const std::vector<double> ps{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+
+  for (std::size_t n : ns) {
+    std::printf("n = %zu terminals\n", n);
+    util::Table t({"p", "group(analytic)", "group(simulated)",
+                   "unicast(analytic)", "unicast(simulated)"});
+    for (double p : ps) {
+      const McResult mc = monte_carlo(p, n, 42);
+      t.add_row({util::fmt(p, 1),
+                 util::fmt(analysis::group_efficiency(p, n)),
+                 util::fmt(mc.group),
+                 util::fmt(analysis::unicast_efficiency(p, n)),
+                 util::fmt(mc.unicast)});
+    }
+    t.print(std::cout);
+    std::printf("\n");
+  }
+
+  std::printf("n -> infinity (analytic only)\n");
+  util::Table t({"p", "group(analytic)", "unicast(analytic)"});
+  for (double p : ps)
+    t.add_row({util::fmt(p, 1), util::fmt(analysis::group_efficiency_inf(p)),
+               util::fmt(analysis::unicast_efficiency_inf(p))});
+  t.print(std::cout);
+
+  std::printf(
+      "\nPaper shape check: group efficiency peaks near p = 0.5 and stays\n"
+      "bounded away from 0 as n grows (max 0.25 at n = 2, ~0.2 at n = inf);\n"
+      "unicast efficiency collapses toward 0 as n grows.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Micro-benchmarks for the finite-field substrate: the per-byte cost of
+// packet combining (axpy), matrix products, rank computation and MDS
+// encoding — the operations that dominate the protocol's CPU time on a
+// real device.
+
+#include <benchmark/benchmark.h>
+
+#include "channel/rng.h"
+#include "gf/gf256.h"
+#include "gf/linear_space.h"
+#include "gf/matrix.h"
+#include "gf/mds.h"
+
+namespace {
+
+using namespace thinair;
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  channel::Rng rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = rng.next_byte();
+  return out;
+}
+
+gf::Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  channel::Rng rng(seed);
+  gf::Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j)
+      m.set(i, j, gf::GF256(rng.next_byte()));
+  return m;
+}
+
+void BM_Gf256Axpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_bytes(n, 1);
+  auto y = random_bytes(n, 2);
+  const gf::GF256 c(0x53);
+  for (auto _ : state) {
+    gf::axpy(c, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Gf256Axpy)->Arg(100)->Arg(1500)->Arg(65536);
+
+void BM_Gf256Mul(benchmark::State& state) {
+  const auto xs = random_bytes(4096, 3);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const gf::GF256 a(xs[i & 4095]);
+    const gf::GF256 b(xs[(i + 1) & 4095]);
+    benchmark::DoNotOptimize(a * b);
+    ++i;
+  }
+}
+BENCHMARK(BM_Gf256Mul);
+
+void BM_MatrixMul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const gf::Matrix a = random_matrix(n, n, 4);
+  const gf::Matrix b = random_matrix(n, n, 5);
+  for (auto _ : state) benchmark::DoNotOptimize(a.mul(b));
+}
+BENCHMARK(BM_MatrixMul)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_MatrixRank(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const gf::Matrix a = random_matrix(n, n, 6);
+  for (auto _ : state) benchmark::DoNotOptimize(a.rank());
+}
+BENCHMARK(BM_MatrixRank)->Arg(32)->Arg(90)->Arg(180);
+
+void BM_VandermondeBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(gf::mds::vandermonde(n / 2, n));
+}
+BENCHMARK(BM_VandermondeBuild)->Arg(32)->Arg(128)->Arg(255);
+
+void BM_MdsEncodePacket(benchmark::State& state) {
+  // Encoding one 100-byte y-packet from a 20-packet class.
+  const gf::Matrix g = gf::mds::vandermonde(8, 20);
+  std::vector<std::vector<std::uint8_t>> inputs;
+  for (int i = 0; i < 20; ++i)
+    inputs.push_back(random_bytes(100, 100 + static_cast<std::uint64_t>(i)));
+  for (auto _ : state) {
+    std::vector<std::uint8_t> out(100, 0);
+    for (std::size_t j = 0; j < 20; ++j)
+      gf::axpy(g.at(0, j), inputs[j].data(), out.data(), 100);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_MdsEncodePacket);
+
+void BM_LinearSpaceInsert(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const gf::Matrix rows = random_matrix(dim / 2, dim, 7);
+  for (auto _ : state) {
+    gf::LinearSpace space(dim);
+    space.insert_rows(rows);
+    benchmark::DoNotOptimize(space.rank());
+  }
+}
+BENCHMARK(BM_LinearSpaceInsert)->Arg(90)->Arg(180);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Micro-benchmarks for the protocol itself: the cost of phase 1's pool
+// construction, phase 2's planning/decoding, and a full simulated round —
+// what a deployment would spend per secret bit of CPU rather than of
+// airtime.
+
+#include <benchmark/benchmark.h>
+
+#include "channel/erasure.h"
+#include "core/phase1.h"
+#include "core/phase2.h"
+#include "core/session.h"
+#include "net/medium.h"
+
+namespace {
+
+using namespace thinair;
+
+core::ReceptionTable make_table(std::size_t n_receivers, std::size_t universe,
+                                double p, std::uint64_t seed) {
+  std::vector<packet::NodeId> receivers;
+  for (std::size_t i = 1; i <= n_receivers; ++i)
+    receivers.push_back(packet::NodeId{static_cast<std::uint16_t>(i)});
+  core::ReceptionTable table(packet::NodeId{0}, receivers, universe);
+  channel::Rng rng(seed);
+  for (packet::NodeId r : receivers) {
+    std::vector<std::uint32_t> got;
+    for (std::uint32_t i = 0; i < universe; ++i)
+      if (!rng.bernoulli(p)) got.push_back(i);
+    table.set_received(r, got);
+  }
+  return table;
+}
+
+void BM_PoolBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const core::ReceptionTable table = make_table(n, 180, 0.5, 11);
+  const core::FractionEstimator est(0.4);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        core::build_pool(table, est, core::PoolStrategy::kClassShared));
+}
+BENCHMARK(BM_PoolBuild)->Arg(2)->Arg(5)->Arg(7);
+
+void BM_Phase2Plan(benchmark::State& state) {
+  const core::ReceptionTable table = make_table(5, 180, 0.5, 12);
+  const core::FractionEstimator est(0.4);
+  const auto build =
+      core::build_pool(table, est, core::PoolStrategy::kClassShared);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::plan_phase2(build.pool));
+}
+BENCHMARK(BM_Phase2Plan);
+
+void BM_FullRoundIid(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  channel::IidErasure ch(0.5);
+  net::Medium medium(ch, channel::Rng(13));
+  for (std::size_t i = 0; i < n; ++i)
+    medium.attach(packet::NodeId{static_cast<std::uint16_t>(i)},
+                  net::Role::kTerminal);
+  medium.attach(packet::NodeId{static_cast<std::uint16_t>(n)},
+                net::Role::kEavesdropper);
+
+  core::SessionConfig cfg;
+  cfg.x_packets_per_round = 90;
+  cfg.rounds = 1;
+  cfg.estimator.kind = core::EstimatorKind::kLooFraction;
+  core::GroupSecretSession session(medium, cfg);
+
+  std::size_t secret_bits = 0;
+  for (auto _ : state) {
+    const core::SessionResult r = session.run();
+    secret_bits += r.secret_bits();
+    benchmark::DoNotOptimize(r.secret.data());
+  }
+  state.counters["secret_bits_per_round"] = benchmark::Counter(
+      static_cast<double>(secret_bits),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_FullRoundIid)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

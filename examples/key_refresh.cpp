@@ -1,0 +1,102 @@
+// Continuous key refresh — the application the paper's introduction
+// motivates: use the stream of shared secret bits to keep re-keying the
+// group's encryption, so no long-lived key material ever exists ([4]'s
+// dynamic-secrets idea), and authenticate the control plane with one-time
+// MACs fed from the same pool (the active-adversary defence of Sec. 2).
+//
+//   $ ./examples/key_refresh
+
+#include <cstdio>
+#include <string>
+
+#include "auth/authenticator.h"
+#include "channel/erasure.h"
+#include "core/secret.h"
+#include "core/session.h"
+#include "net/medium.h"
+
+namespace {
+
+// Toy encryption for the demo: XOR with a fresh 16-byte key per message —
+// one-time-pad semantics as long as keys are never reused, which the
+// SecretPool guarantees by construction.
+std::vector<std::uint8_t> xor_crypt(const std::string& text,
+                                    const std::vector<std::uint8_t>& key) {
+  std::vector<std::uint8_t> out(text.begin(), text.end());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<std::uint8_t>(out[i] ^ key[i % key.size()]);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace thinair;
+
+  channel::IidErasure channel(0.5);
+  net::Medium medium(channel, channel::Rng(7));
+  for (std::uint16_t id = 0; id < 4; ++id)
+    medium.attach(packet::NodeId{id}, net::Role::kTerminal);
+  medium.attach(packet::NodeId{4}, net::Role::kEavesdropper);
+
+  core::SessionConfig config;
+  config.x_packets_per_round = 120;
+  config.rounds = 4;
+  config.estimator.kind = core::EstimatorKind::kLooFraction;
+  core::GroupSecretSession session(medium, config);
+
+  // Every group member keeps an identical pool + authenticator; we model
+  // one of each (the session already verified all terminals agree).
+  core::SecretPool pool;
+  auth::Authenticator sender({});
+  auth::Authenticator receiver({});
+
+  const std::string messages[] = {
+      "flanking route clear at 0300",
+      "supply drop moved to grid 7",
+      "rotate to channel 11 after next burst",
+  };
+
+  std::size_t refreshed_keys = 0;
+  for (const std::string& msg : messages) {
+    // Refill from thin air whenever the pool runs low.
+    while (pool.available() < 16 + auth::MacKey::kBytes) {
+      const core::SessionResult r = session.run();
+      pool.deposit(r.secret);
+      std::printf("[refresh] +%zu secret bits (reliability %.2f)\n",
+                  r.secret_bits(), r.reliability());
+    }
+
+    const auto key = pool.draw(16);
+    const auto mac_key = pool.draw(auth::MacKey::kBytes);
+    ++refreshed_keys;
+
+    auto cipher = xor_crypt(msg, *key);
+    sender.refill(*mac_key);
+    receiver.refill(*mac_key);
+    const auto signed_msg = sender.sign(cipher);
+
+    std::printf("[send] key #%zu, %zu-byte ciphertext, tag %016llx\n",
+                refreshed_keys, cipher.size(),
+                static_cast<unsigned long long>(signed_msg->tag.value));
+
+    // Receiver side: verify, then decrypt with the same drawn key.
+    if (!receiver.verify(*signed_msg)) {
+      std::printf("  !! authentication failed\n");
+      return 1;
+    }
+    const auto plain = xor_crypt(
+        std::string(signed_msg->body.begin(), signed_msg->body.end()), *key);
+    std::printf("[recv] verified + decrypted: \"%s\"\n",
+                std::string(plain.begin(), plain.end()).c_str());
+  }
+
+  std::printf(
+      "\n%zu messages protected with %zu one-time keys; %zu secret bits "
+      "left in the pool.\n",
+      std::size(messages), refreshed_keys, pool.available() * 8);
+  std::printf(
+      "No RSA keypair, no master key: compromise yesterday's state and\n"
+      "you still cannot read tomorrow's traffic.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// The paper's hardest open challenge (Sec. 6): an adversary with multiple
+// antennas. We model a k-antenna Eve as k eavesdropper nodes in distinct
+// cells whose receptions are pooled, and measure how reliability degrades
+// with k — plus the defence Sec. 3.3 proposes: size the secrets against
+// k-subsets of terminals (the KSubset estimator).
+//
+//   $ ./examples/multi_antenna_eve
+
+#include <cstdio>
+
+#include "core/session.h"
+#include "testbed/layout.h"
+#include "testbed/placements.h"
+
+namespace {
+
+using namespace thinair;
+
+struct Outcome {
+  double reliability;
+  double efficiency;
+};
+
+Outcome run(std::size_t eve_antennas, std::size_t defend_k,
+            std::uint64_t seed) {
+  // 5 terminals in cells 0..4; Eve's antennas take cells 5, 7, 8 — all at
+  // least the minimum distance from every terminal.
+  const std::size_t n = 5;
+  testbed::Placement placement;
+  for (std::size_t i = 0; i < n; ++i)
+    placement.terminal_cells.push_back(channel::CellIndex{i});
+  placement.eve_cell = channel::CellIndex{5};
+
+  channel::TestbedChannel ch = testbed::build_channel(placement);
+  const std::size_t antenna_cells[] = {5, 7, 8};
+  net::Medium medium(ch, channel::Rng(seed));
+  for (std::size_t i = 0; i < n; ++i)
+    medium.attach(testbed::terminal_node(i), net::Role::kTerminal);
+  for (std::size_t a = 0; a < eve_antennas; ++a) {
+    const packet::NodeId antenna{static_cast<std::uint16_t>(n + a)};
+    ch.place_in_cell(antenna, channel::CellIndex{antenna_cells[a]});
+    medium.attach(antenna, net::Role::kEavesdropper);
+  }
+
+  core::SessionConfig cfg;
+  cfg.x_packets_per_round = 90;
+  cfg.estimator.kind = core::EstimatorKind::kGeometry;
+  cfg.estimator.k_antennas = defend_k;  // free-cell k-subset hypotheses
+  for (channel::CellIndex c : placement.terminal_cells)
+    cfg.estimator.occupied_cells.push_back(c.value);
+
+  core::GroupSecretSession session(medium, cfg);
+  const core::SessionResult r = session.run();
+  return {r.reliability(), r.efficiency()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Multi-antenna Eve on the testbed (5 terminals; antennas pooled)\n\n");
+  std::printf("%-26s %-12s %-12s\n", "scenario", "reliability", "efficiency");
+
+  for (std::size_t antennas = 1; antennas <= 3; ++antennas) {
+    const Outcome o = run(antennas, 1, 42);
+    std::printf("%zu antenna(s), default est.   %-12.3f %-12.4f\n", antennas,
+                o.reliability, o.efficiency);
+  }
+
+  std::printf("\nDefending with the k-subset estimator (Sec. 3.3):\n");
+  for (std::size_t k = 1; k <= 3; ++k) {
+    const Outcome o = run(3, k, 42);
+    std::printf("3 antennas, defend k=%zu       %-12.3f %-12.4f\n", k,
+                o.reliability, o.efficiency);
+  }
+
+  std::printf(
+      "\nReading: each extra antenna erodes the single-location secrecy\n"
+      "assumption; defending against a k-antenna Eve costs efficiency, the\n"
+      "trade-off the paper flags as its main open challenge.\n");
+  return 0;
+}

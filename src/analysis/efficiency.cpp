@@ -1,0 +1,54 @@
+#include "analysis/efficiency.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace thinair::analysis {
+
+namespace {
+void check_p(double p) {
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("efficiency: p outside [0, 1]");
+}
+void check_n(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("efficiency: n < 2");
+}
+}  // namespace
+
+double expected_secret_fraction(double p) {
+  check_p(p);
+  return p * (1.0 - p);
+}
+
+double expected_pool_fraction(double p, std::size_t n) {
+  check_p(p);
+  check_n(n);
+  return p * (1.0 - std::pow(p, static_cast<double>(n - 1)));
+}
+
+double group_efficiency(double p, std::size_t n) {
+  check_p(p);
+  check_n(n);
+  const double l = expected_secret_fraction(p);
+  const double m = expected_pool_fraction(p, n);
+  return l / (1.0 + m - l);
+}
+
+double group_efficiency_inf(double p) {
+  check_p(p);
+  return p * (1.0 - p) / (1.0 + p * p);
+}
+
+double unicast_efficiency(double p, std::size_t n) {
+  check_p(p);
+  check_n(n);
+  const double l = expected_secret_fraction(p);
+  return l / (1.0 + static_cast<double>(n - 2) * l);
+}
+
+double unicast_efficiency_inf(double p) {
+  check_p(p);
+  return 0.0;
+}
+
+}  // namespace thinair::analysis

@@ -1,0 +1,44 @@
+#pragma once
+// Closed-form efficiency of the two algorithms under Figure 1's
+// simplifying assumptions (Sec. 3.2): every terminal's channel from Alice
+// and Eve's channel all erase i.i.d. with probability p, and Alice's
+// estimate of Eve's misses is exact (the oracle estimator).
+//
+// Per transmitted x-packet:
+//   - a given terminal shares it w.p. (1 - p), and Eve misses a shared one
+//     w.p. p, so every pair-wise secret has expected size  L/N = p(1 - p);
+//   - the y-pool covers every packet some terminal received and Eve
+//     missed:                                   M/N = p(1 - p^(n-1)).
+// The group algorithm transmits N x-packets plus (M - L) z-packets:
+//   eff_group(p, n) = p(1-p) / (1 + p^2 (1 - p^(n-2))),
+// which degrades gracefully to p(1-p)/(1+p^2) as n -> infinity.
+// The unicast algorithm instead pads the group secret to each of the n - 2
+// remaining terminals separately:
+//   eff_unicast(p, n) = p(1-p) / (1 + (n-2) p(1-p))  ->  0 as n -> infinity
+// — the scalability failure Figure 1 illustrates.
+
+#include <cstddef>
+
+namespace thinair::analysis {
+
+/// Expected pair-wise secret size per x-packet: L/N = p(1-p).
+[[nodiscard]] double expected_secret_fraction(double p);
+
+/// Expected y-pool size per x-packet: M/N = p(1 - p^(n-1)).
+[[nodiscard]] double expected_pool_fraction(double p, std::size_t n);
+
+/// Maximum efficiency of the paper's (group) algorithm for n >= 2
+/// terminals at erasure probability p.
+[[nodiscard]] double group_efficiency(double p, std::size_t n);
+
+/// Limit of group_efficiency as n -> infinity: p(1-p) / (1 + p^2).
+[[nodiscard]] double group_efficiency_inf(double p);
+
+/// Maximum efficiency of the unicast baseline for n >= 2 terminals.
+[[nodiscard]] double unicast_efficiency(double p, std::size_t n);
+
+/// Limit of unicast_efficiency as n -> infinity (identically 0 for p in
+/// (0, 1)).
+[[nodiscard]] double unicast_efficiency_inf(double p);
+
+}  // namespace thinair::analysis

@@ -1,0 +1,21 @@
+#include "analysis/eve_view.h"
+
+namespace thinair::analysis {
+
+EveView::EveView(std::size_t universe) : space_(universe) {}
+
+void EveView::observe_x(std::uint32_t index) { space_.insert_unit(index); }
+
+void EveView::observe_x(const std::vector<std::uint32_t>& indices) {
+  for (std::uint32_t i : indices) observe_x(i);
+}
+
+void EveView::observe_combinations(const gf::Matrix& rows) {
+  space_.insert_rows(rows);
+}
+
+std::size_t EveView::equivocation(const gf::Matrix& secret_rows) const {
+  return space_.residual_rank(secret_rows);
+}
+
+}  // namespace thinair::analysis

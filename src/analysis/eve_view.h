@@ -1,0 +1,51 @@
+#pragma once
+// Eve's exact knowledge, as linear algebra.
+//
+// In the erasure model every payload-bearing signal Eve can use is a
+// *linear functional* of the round's N x-packet payloads (applied
+// symbol-wise over GF(2^8)):
+//   - an x-packet she received  -> a unit functional;
+//   - a public z-packet content -> the z's combination row (z = H G x);
+//   - a ciphertext of the unicast baseline -> secret row + pad row.
+// Combination *identities* (reports, announcements) are public coefficients
+// and carry no payload information, so they enter the analysis only through
+// the matrices above. EveView accumulates the functionals in a LinearSpace;
+// secrecy questions become rank queries.
+
+#include <cstdint>
+#include <vector>
+
+#include "gf/linear_space.h"
+#include "gf/matrix.h"
+
+namespace thinair::analysis {
+
+class EveView {
+ public:
+  /// `universe` = N, the number of x-packets in the round.
+  explicit EveView(std::size_t universe);
+
+  /// Eve received x-packet `index` off the air.
+  void observe_x(std::uint32_t index);
+  void observe_x(const std::vector<std::uint32_t>& indices);
+
+  /// Eve learned the content of linear combinations of the x-packets
+  /// (rows are combination vectors in x-space, e.g. H*G for z-packets).
+  void observe_combinations(const gf::Matrix& rows);
+
+  [[nodiscard]] std::size_t universe() const { return space_.dim(); }
+  /// Dimension of everything Eve knows.
+  [[nodiscard]] std::size_t knowledge_rank() const { return space_.rank(); }
+
+  /// How many of the secret's dimensions remain *unknown* to Eve:
+  /// rank([view; secret_rows]) - rank(view). Equals the per-symbol
+  /// equivocation H(S | Eve) in GF(2^8) symbols.
+  [[nodiscard]] std::size_t equivocation(const gf::Matrix& secret_rows) const;
+
+  [[nodiscard]] const gf::LinearSpace& space() const { return space_; }
+
+ private:
+  gf::LinearSpace space_;
+};
+
+}  // namespace thinair::analysis

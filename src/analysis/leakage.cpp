@@ -1,0 +1,29 @@
+#include "analysis/leakage.h"
+
+#include <cmath>
+
+namespace thinair::analysis {
+
+double LeakageReport::per_bit_guess_probability() const {
+  return std::exp2(-reliability);
+}
+
+double LeakageReport::full_guess_probability(std::size_t secret_bits) const {
+  return std::exp2(-reliability * static_cast<double>(secret_bits));
+}
+
+LeakageReport compute_leakage(const EveView& view,
+                              const gf::Matrix& secret_rows) {
+  LeakageReport report;
+  report.secret_dims = secret_rows.rows();
+  report.hidden_dims = view.equivocation(secret_rows);
+  report.leaked_dims = report.secret_dims - report.hidden_dims;
+  report.reliability =
+      report.secret_dims == 0
+          ? 1.0
+          : static_cast<double>(report.hidden_dims) /
+                static_cast<double>(report.secret_dims);
+  return report;
+}
+
+}  // namespace thinair::analysis

@@ -1,0 +1,35 @@
+#pragma once
+// The paper's reliability metric (Sec. 4).
+//
+// "Reliability r means that Eve can correctly guess each bit of the shared
+// group secret with probability 2^-r." With S the secret's combination
+// matrix (L rows) and V Eve's view, the equivocation H(S | V) equals
+// (rank([V; S]) - rank(V)) symbols; spreading it per secret bit gives
+//   r = equivocation_dims / L          in [0, 1],
+// r = 1 meaning Eve knows nothing and r = 0 meaning the secret leaked
+// entirely. Eve's per-bit guessing probability is 2^-r and her probability
+// of guessing an entire b-bit secret is 2^(-r*b).
+
+#include <cstddef>
+
+#include "analysis/eve_view.h"
+
+namespace thinair::analysis {
+
+struct LeakageReport {
+  std::size_t secret_dims = 0;        // L (per-symbol dimensions)
+  std::size_t hidden_dims = 0;        // equivocation
+  std::size_t leaked_dims = 0;        // L - equivocation
+  double reliability = 1.0;           // hidden / L (1.0 when L == 0)
+
+  /// Probability that Eve guesses one secret bit correctly: 2^-r.
+  [[nodiscard]] double per_bit_guess_probability() const;
+  /// Probability that Eve guesses all `secret_bits` bits: 2^(-r*bits).
+  [[nodiscard]] double full_guess_probability(std::size_t secret_bits) const;
+};
+
+/// Compare Eve's view with the secret's combination rows.
+[[nodiscard]] LeakageReport compute_leakage(const EveView& view,
+                                            const gf::Matrix& secret_rows);
+
+}  // namespace thinair::analysis

@@ -1,0 +1,45 @@
+#include "auth/onetime_mac.h"
+
+#include <stdexcept>
+
+namespace thinair::auth {
+
+namespace {
+
+std::uint64_t load_le64(std::span<const std::uint8_t> bytes) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bytes.size() && i < 8; ++i)
+    v |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+MacKey MacKey::from_bytes(std::span<const std::uint8_t> bytes16) {
+  if (bytes16.size() < kBytes)
+    throw std::invalid_argument("MacKey::from_bytes: need 16 bytes");
+  return MacKey{gf::GF64(load_le64(bytes16.subspan(0, 8))),
+                gf::GF64(load_le64(bytes16.subspan(8, 8)))};
+}
+
+MacTag compute_mac(MacKey key, std::span<const std::uint8_t> msg) {
+  // Horner evaluation of m_1 a + m_2 a^2 + ... + m_len a^len + len*a^(len+1):
+  // process chunks in reverse so each step multiplies by a once.
+  const std::size_t chunks = (msg.size() + 7) / 8;
+  gf::GF64 acc(msg.size());  // length block, coefficient of a^(chunks+1)
+  for (std::size_t c = chunks; c-- > 0;) {
+    acc = acc * key.a;
+    const std::size_t off = c * 8;
+    const std::size_t len = std::min<std::size_t>(8, msg.size() - off);
+    acc += gf::GF64(load_le64(msg.subspan(off, len)));
+  }
+  acc = acc * key.a;  // every message chunk gets degree >= 1
+  return MacTag{(acc + key.b).value()};
+}
+
+bool verify_mac(MacKey key, std::span<const std::uint8_t> msg, MacTag tag) {
+  // Single comparison of 64-bit words; no data-dependent early exit.
+  return compute_mac(key, msg).value == tag.value;
+}
+
+}  // namespace thinair::auth

@@ -1,0 +1,28 @@
+#include "channel/erasure.h"
+
+#include <stdexcept>
+
+namespace thinair::channel {
+
+IidErasure::IidErasure(double p) : p_(p) {
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("IidErasure: p outside [0, 1]");
+}
+
+PerLinkErasure::PerLinkErasure(double default_p) : default_p_(default_p) {
+  if (default_p < 0.0 || default_p > 1.0)
+    throw std::invalid_argument("PerLinkErasure: p outside [0, 1]");
+}
+
+void PerLinkErasure::set(packet::NodeId tx, packet::NodeId rx, double p) {
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("PerLinkErasure::set: p outside [0, 1]");
+  links_[{tx.value, rx.value}] = p;
+}
+
+double PerLinkErasure::erasure_probability(const LinkContext& link) const {
+  const auto it = links_.find({link.tx.value, link.rx.value});
+  return it == links_.end() ? default_p_ : it->second;
+}
+
+}  // namespace thinair::channel

@@ -1,0 +1,72 @@
+#pragma once
+// Packet-erasure channel abstraction.
+//
+// The protocol consumes the wireless medium purely as a packet-erasure
+// process: for every transmission, each receiver either gets the packet
+// intact (802.11 FCS passes) or loses it. An ErasureModel maps a link and
+// a time slot to an erasure probability; the broadcast medium draws one
+// independent Bernoulli per receiver per packet, which mirrors how
+// per-packet fading and interference act on short 100-byte frames.
+
+#include <cstddef>
+#include <map>
+#include <memory>
+
+#include "channel/rng.h"
+#include "packet/types.h"
+
+namespace thinair::channel {
+
+/// Identifies one directed link at one point in (slotted) time.
+struct LinkContext {
+  packet::NodeId tx;
+  packet::NodeId rx;
+  std::size_t slot = 0;  // interference-schedule slot of the transmission
+};
+
+/// Interface: probability that a packet on the given link in the given slot
+/// is erased (lost).
+class ErasureModel {
+ public:
+  virtual ~ErasureModel() = default;
+
+  [[nodiscard]] virtual double erasure_probability(
+      const LinkContext& link) const = 0;
+
+  /// One Bernoulli draw from this model.
+  [[nodiscard]] bool erased(Rng& rng, const LinkContext& link) const {
+    return rng.bernoulli(erasure_probability(link));
+  }
+};
+
+/// Every link erases independently with the same probability p — the
+/// idealized symmetric channel used for Figure 1 ("the packet erasure
+/// probability between Alice and each terminal, as well as Alice and Eve,
+/// is the same").
+class IidErasure final : public ErasureModel {
+ public:
+  explicit IidErasure(double p);
+  [[nodiscard]] double erasure_probability(const LinkContext&) const override {
+    return p_;
+  }
+
+ private:
+  double p_;
+};
+
+/// Per-(tx, rx) erasure probabilities with a default for unlisted links.
+/// Useful for tests and for asymmetric-channel studies.
+class PerLinkErasure final : public ErasureModel {
+ public:
+  explicit PerLinkErasure(double default_p = 0.0);
+
+  void set(packet::NodeId tx, packet::NodeId rx, double p);
+  [[nodiscard]] double erasure_probability(
+      const LinkContext& link) const override;
+
+ private:
+  double default_p_;
+  std::map<std::pair<std::uint16_t, std::uint16_t>, double> links_;
+};
+
+}  // namespace thinair::channel

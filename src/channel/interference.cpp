@@ -1,0 +1,53 @@
+#include "channel/interference.h"
+
+namespace thinair::channel {
+
+InterferenceSchedule::InterferenceSchedule(CellGrid grid,
+                                           InterfererParams params)
+    : grid_(grid), params_(params) {}
+
+std::array<Vec2, 2> InterferenceSchedule::row_antennas(std::size_t r) const {
+  const double y = (static_cast<double>(r) + 0.5) * grid_.cell_side();
+  return {Vec2{0.0, y}, Vec2{grid_.side(), y}};
+}
+
+std::array<Vec2, 2> InterferenceSchedule::col_antennas(std::size_t c) const {
+  const double x = (static_cast<double>(c) + 0.5) * grid_.cell_side();
+  return {Vec2{x, 0.0}, Vec2{x, grid_.side()}};
+}
+
+double InterferenceSchedule::interference_mw(
+    Vec2 rx, std::size_t slot, const LogDistancePathLoss& pl) const {
+  const NoisePattern p = pattern(slot);
+  const CellIndex rx_cell = grid_.cell_of(rx);
+
+  // Jammer antennas radiate with their own transmit power through the same
+  // path-loss law; we re-use `pl`'s reference loss and exponent but
+  // substitute the jammer's power by scaling in the linear domain.
+  const double power_offset_db =
+      params_.tx_power_dbm - pl.params().tx_power_dbm;
+
+  double total_mw = 0.0;
+  const auto add_antennas = [&](const std::array<Vec2, 2>& ants,
+                                bool in_beam) {
+    for (const Vec2& a : ants) {
+      double rx_dbm = pl.rx_power_dbm(distance(rx, a)) + power_offset_db;
+      if (!in_beam) rx_dbm -= params_.sidelobe_rejection_db;
+      total_mw += db_to_linear(rx_dbm);
+    }
+  };
+  add_antennas(row_antennas(p.row), rx_cell.row() == p.row);
+  add_antennas(col_antennas(p.col), rx_cell.col() == p.col);
+  return total_mw;
+}
+
+std::size_t InterferenceSchedule::patterns_jamming(CellIndex cell) {
+  std::size_t count = 0;
+  for (std::size_t s = 0; s < kPatterns; ++s) {
+    const NoisePattern p{s / 3, s % 3};
+    if (is_jammed(cell, p)) ++count;
+  }
+  return count;
+}
+
+}  // namespace thinair::channel

@@ -1,0 +1,85 @@
+#pragma once
+// Artificial interference: the paper's jamming substrate (Sec. 3.3 / 4).
+//
+// The testbed uses 6 WARP nodes with two directional antennas each (narrow
+// 22-degree beams) placed along the perimeter. At any time one pair of
+// antennas jams one *row* of the 3x3 cell grid while another pair jams one
+// *column*; rotating through all 3 x 3 = 9 (row, column) combinations gives
+// the paper's 9 noise patterns. The purpose is to guarantee that *any*
+// receiver — in particular Eve, wherever she stands — is jammed during
+// 5 of the 9 patterns (3 with her row + 3 with her column - 1 overlap), so
+// she misses a minimum fraction of packets regardless of natural channel
+// conditions.
+//
+// We model each beam as a corridor of elevated noise aligned with a row or
+// column, fed by two antennas at the corridor's ends; receivers inside the
+// corridor receive the jammers' power through the path-loss model,
+// receivers outside receive it attenuated by the beam's side-lobe rejection.
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "channel/geometry.h"
+#include "channel/pathloss.h"
+
+namespace thinair::channel {
+
+/// One of the 9 noise patterns: a jammed row and a jammed column.
+struct NoisePattern {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  friend constexpr bool operator==(NoisePattern, NoisePattern) = default;
+};
+
+struct InterfererParams {
+  double tx_power_dbm = 10.0;  // WARP jammer transmit power
+  // Attenuation outside the 22-degree beam. Indoors, reflections keep
+  // side-lobe rejection modest, so off-corridor receivers also see some
+  // noise — that residual randomness is what makes every receiver
+  // (including Eve) miss a nonzero fraction of every packet class.
+  double sidelobe_rejection_db = 26.0;
+};
+
+/// The rotating row/column jamming schedule.
+class InterferenceSchedule {
+ public:
+  static constexpr std::size_t kPatterns = 9;
+
+  explicit InterferenceSchedule(CellGrid grid, InterfererParams params = {});
+
+  /// Pattern active in the given slot (slots rotate round-robin).
+  [[nodiscard]] NoisePattern pattern(std::size_t slot) const {
+    const std::size_t p = slot % kPatterns;
+    return {p / 3, p % 3};
+  }
+
+  /// True when the given cell lies inside a jammed corridor of `pattern`.
+  [[nodiscard]] static bool is_jammed(CellIndex cell, NoisePattern pattern) {
+    return cell.row() == pattern.row || cell.col() == pattern.col;
+  }
+
+  /// Total interference power (mW) delivered to a receiver at `rx` during
+  /// `slot`, through the path-loss model `pl`. Includes side-lobe leakage
+  /// when the receiver is outside the jammed corridors.
+  [[nodiscard]] double interference_mw(Vec2 rx, std::size_t slot,
+                                       const LogDistancePathLoss& pl) const;
+
+  /// Number of the 9 patterns that jam the given cell (always 5: the
+  /// paper's minimum-fraction guarantee).
+  [[nodiscard]] static std::size_t patterns_jamming(CellIndex cell);
+
+  [[nodiscard]] const CellGrid& grid() const { return grid_; }
+  [[nodiscard]] const InterfererParams& params() const { return params_; }
+
+  /// Antenna positions feeding the corridor of row r (both ends).
+  [[nodiscard]] std::array<Vec2, 2> row_antennas(std::size_t r) const;
+  /// Antenna positions feeding the corridor of column c (both ends).
+  [[nodiscard]] std::array<Vec2, 2> col_antennas(std::size_t c) const;
+
+ private:
+  CellGrid grid_;
+  InterfererParams params_;
+};
+
+}  // namespace thinair::channel

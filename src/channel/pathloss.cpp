@@ -1,0 +1,33 @@
+#include "channel/pathloss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace thinair::channel {
+
+double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+
+double linear_to_db(double linear) {
+  if (!(linear > 0.0))
+    throw std::invalid_argument("linear_to_db: non-positive power");
+  return 10.0 * std::log10(linear);
+}
+
+LogDistancePathLoss::LogDistancePathLoss(PathLossParams params)
+    : params_(params) {
+  if (!(params_.min_distance_m > 0.0))
+    throw std::invalid_argument("LogDistancePathLoss: min_distance_m <= 0");
+}
+
+double LogDistancePathLoss::rx_power_dbm(double distance_m) const {
+  const double d = std::max(distance_m, params_.min_distance_m);
+  return params_.tx_power_dbm - params_.ref_loss_db -
+         10.0 * params_.exponent * std::log10(d);
+}
+
+double LogDistancePathLoss::rx_power_mw(double distance_m) const {
+  return db_to_linear(rx_power_dbm(distance_m));
+}
+
+}  // namespace thinair::channel

@@ -1,0 +1,42 @@
+#pragma once
+// Log-distance path-loss model.
+//
+// The paper's testbed uses 802.11g at 2.472 GHz, 3 dBm transmit power,
+// indoors and in line of sight (Sec. 4). We model received power with the
+// standard log-distance law
+//     Prx(d) = Ptx - PL(d0) - 10 * eta * log10(d / d0)
+// with a reference loss at d0 = 1 m taken from the free-space value at
+// 2.472 GHz (~40.3 dB) and an indoor LOS exponent eta ~= 2.0-3.0.
+
+#include <cstddef>
+
+namespace thinair::channel {
+
+/// Decibel <-> linear helpers (power quantities).
+[[nodiscard]] double db_to_linear(double db);
+[[nodiscard]] double linear_to_db(double linear);
+
+struct PathLossParams {
+  double tx_power_dbm = 3.0;     // paper: 3 dBm
+  double ref_loss_db = 40.3;     // free-space loss at 1 m, 2.472 GHz
+  double exponent = 2.0;         // small-room line of sight (waveguiding)
+  double min_distance_m = 0.1;   // clamp to avoid singularities
+};
+
+class LogDistancePathLoss {
+ public:
+  explicit LogDistancePathLoss(PathLossParams params = {});
+
+  /// Received power in dBm at the given distance in metres.
+  [[nodiscard]] double rx_power_dbm(double distance_m) const;
+
+  /// Received power in milliwatts.
+  [[nodiscard]] double rx_power_mw(double distance_m) const;
+
+  [[nodiscard]] const PathLossParams& params() const { return params_; }
+
+ private:
+  PathLossParams params_;
+};
+
+}  // namespace thinair::channel

@@ -1,0 +1,46 @@
+#pragma once
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulation (packet payloads, erasure
+// draws, placement sampling) draws from an explicitly passed Rng so that
+// experiments are reproducible from a single seed. The generator is
+// xoshiro256** seeded through splitmix64, which has excellent statistical
+// quality and lets us fork independent streams cheaply.
+//
+// NOTE: this is a *simulation* RNG. A production deployment must source
+// x-packet payloads from a cryptographically secure generator; the
+// protocol's secrecy argument assumes the payloads are uniform and
+// unpredictable.
+
+#include <cstdint>
+
+namespace thinair::channel {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) without modulo bias. Precondition: bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli draw with success probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  /// Uniform byte.
+  std::uint8_t next_byte() { return static_cast<std::uint8_t>(next_u64()); }
+
+  /// A statistically independent generator derived from this one's stream;
+  /// used to give each experiment its own stream.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace thinair::channel

@@ -1,0 +1,23 @@
+#include "channel/sinr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "channel/pathloss.h"
+
+namespace thinair::channel {
+
+double packet_error_rate(double sinr, const SinrParams& params) {
+  const double z = (sinr - params.per_threshold_db) / params.per_scale_db;
+  const double per = 1.0 / (1.0 + std::exp(z));
+  return std::clamp(per, params.floor, params.ceiling);
+}
+
+double sinr_db(double signal_mw, double interference_mw,
+               const SinrParams& params) {
+  const double denom_mw =
+      db_to_linear(params.noise_floor_dbm) + interference_mw;
+  return linear_to_db(signal_mw) - linear_to_db(denom_mw);
+}
+
+}  // namespace thinair::channel

@@ -1,0 +1,48 @@
+#include "channel/testbed_channel.h"
+
+#include <stdexcept>
+
+namespace thinair::channel {
+
+TestbedChannel::TestbedChannel(Config config)
+    : config_(config),
+      pathloss_(config.pathloss),
+      schedule_(config.grid, config.interferer) {}
+
+void TestbedChannel::place(packet::NodeId node, Vec2 position) {
+  positions_[node] = position;
+}
+
+void TestbedChannel::place_in_cell(packet::NodeId node, CellIndex cell) {
+  place(node, config_.grid.center(cell));
+}
+
+Vec2 TestbedChannel::position_of(packet::NodeId node) const {
+  const auto it = positions_.find(node);
+  if (it == positions_.end())
+    throw std::out_of_range("TestbedChannel: node not placed");
+  return it->second;
+}
+
+CellIndex TestbedChannel::cell_of(packet::NodeId node) const {
+  return config_.grid.cell_of(position_of(node));
+}
+
+double TestbedChannel::link_sinr_db(packet::NodeId tx, packet::NodeId rx,
+                                    std::size_t slot) const {
+  const Vec2 tx_pos = position_of(tx);
+  const Vec2 rx_pos = position_of(rx);
+  const double signal_mw = pathloss_.rx_power_mw(distance(tx_pos, rx_pos));
+  const double interference_mw =
+      config_.interference_enabled
+          ? schedule_.interference_mw(rx_pos, slot, pathloss_)
+          : 0.0;
+  return sinr_db(signal_mw, interference_mw, config_.sinr);
+}
+
+double TestbedChannel::erasure_probability(const LinkContext& link) const {
+  return packet_error_rate(link_sinr_db(link.tx, link.rx, link.slot),
+                           config_.sinr);
+}
+
+}  // namespace thinair::channel

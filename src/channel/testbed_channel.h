@@ -1,0 +1,61 @@
+#pragma once
+// The composite channel of the paper's deployment (Sec. 4): geometry-driven
+// path loss + rotating artificial interference + SINR-based packet loss.
+//
+// Nodes are placed at positions in the 14 m^2 area (usually cell centres);
+// for each (tx, rx, slot) the model computes the received signal power, the
+// jammers' interference power under the slot's noise pattern, and maps the
+// resulting SINR to an erasure probability.
+
+#include <optional>
+#include <unordered_map>
+
+#include "channel/erasure.h"
+#include "channel/geometry.h"
+#include "channel/interference.h"
+#include "channel/pathloss.h"
+#include "channel/sinr.h"
+
+namespace thinair::channel {
+
+class TestbedChannel final : public ErasureModel {
+ public:
+  struct Config {
+    CellGrid grid{14.0};
+    PathLossParams pathloss{};
+    InterfererParams interferer{};
+    SinrParams sinr{};
+    bool interference_enabled = true;
+  };
+
+  TestbedChannel() : TestbedChannel(Config{}) {}
+  explicit TestbedChannel(Config config);
+
+  /// Place (or move) a node. Positions default to cell centres via
+  /// place_in_cell.
+  void place(packet::NodeId node, Vec2 position);
+  void place_in_cell(packet::NodeId node, CellIndex cell);
+
+  [[nodiscard]] Vec2 position_of(packet::NodeId node) const;
+  [[nodiscard]] CellIndex cell_of(packet::NodeId node) const;
+
+  [[nodiscard]] double erasure_probability(
+      const LinkContext& link) const override;
+
+  /// SINR (dB) on a link during a slot; exposed for calibration and tests.
+  [[nodiscard]] double link_sinr_db(packet::NodeId tx, packet::NodeId rx,
+                                    std::size_t slot) const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] const InterferenceSchedule& schedule() const {
+    return schedule_;
+  }
+
+ private:
+  Config config_;
+  LogDistancePathLoss pathloss_;
+  InterferenceSchedule schedule_;
+  std::unordered_map<packet::NodeId, Vec2> positions_;
+};
+
+}  // namespace thinair::channel

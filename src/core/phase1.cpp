@@ -1,0 +1,54 @@
+#include "core/phase1.h"
+
+#include <stdexcept>
+
+namespace thinair::core {
+
+Phase1Result run_phase1(const ReceptionTable& table,
+                        const EveBoundEstimator& estimator,
+                        PoolStrategy strategy) {
+  Phase1Result result{build_pool(table, estimator, strategy), {}};
+  result.announcement.combinations = result.build.pool.combinations();
+  return result;
+}
+
+std::vector<packet::Payload> all_y_contents(
+    const YPool& pool, std::span<const packet::Payload> x_payloads,
+    std::size_t payload_size) {
+  if (x_payloads.size() != pool.universe())
+    throw std::invalid_argument("all_y_contents: payload count != universe");
+  std::vector<packet::Payload> out;
+  out.reserve(pool.size());
+  for (const YPool::Entry& e : pool.entries())
+    out.push_back(e.combo.apply(x_payloads, payload_size));
+  return out;
+}
+
+std::vector<std::optional<packet::Payload>> reconstruct_y(
+    const YPool& pool, packet::NodeId terminal,
+    std::span<const std::optional<packet::Payload>> x_payloads,
+    std::size_t payload_size) {
+  if (x_payloads.size() != pool.universe())
+    throw std::invalid_argument("reconstruct_y: payload count != universe");
+
+  std::vector<std::optional<packet::Payload>> out(pool.size());
+  for (std::size_t j = 0; j < pool.size(); ++j) {
+    const YPool::Entry& e = pool.entries()[j];
+    if (!e.audience.contains(terminal)) continue;
+    packet::Payload y(payload_size, 0);
+    for (const packet::Term& t : e.combo.terms()) {
+      const auto& x = x_payloads[t.index];
+      if (!x.has_value())
+        throw std::logic_error(
+            "reconstruct_y: terminal in audience but missing an x-packet "
+            "(inconsistent reception report)");
+      if (x->size() != payload_size)
+        throw std::invalid_argument("reconstruct_y: payload size mismatch");
+      gf::axpy(t.coeff, x->data(), y.data(), payload_size);
+    }
+    out[j] = std::move(y);
+  }
+  return out;
+}
+
+}  // namespace thinair::core

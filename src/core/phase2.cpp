@@ -1,0 +1,147 @@
+#include "core/phase2.h"
+
+#include <stdexcept>
+
+#include "gf/mds.h"
+
+namespace thinair::core {
+
+namespace {
+
+packet::Announcement announcement_from(const gf::Matrix& rows) {
+  packet::Announcement a;
+  a.combinations.reserve(rows.rows());
+  for (std::size_t i = 0; i < rows.rows(); ++i) {
+    packet::Combination combo;
+    for (std::size_t j = 0; j < rows.cols(); ++j)
+      combo.add(static_cast<std::uint32_t>(j), rows.at(i, j));
+    a.combinations.push_back(std::move(combo));
+  }
+  return a;
+}
+
+std::vector<packet::Payload> apply_rows(
+    const gf::Matrix& rows, std::span<const packet::Payload> inputs,
+    std::size_t payload_size) {
+  if (inputs.size() != rows.cols())
+    throw std::invalid_argument("apply_rows: input count mismatch");
+  std::vector<packet::Payload> out;
+  out.reserve(rows.rows());
+  for (std::size_t i = 0; i < rows.rows(); ++i) {
+    packet::Payload p(payload_size, 0);
+    for (std::size_t j = 0; j < rows.cols(); ++j) {
+      const gf::GF256 coeff = rows.at(i, j);
+      if (coeff.is_zero()) continue;
+      if (inputs[j].size() != payload_size)
+        throw std::invalid_argument("apply_rows: payload size mismatch");
+      gf::axpy(coeff, inputs[j].data(), p.data(), payload_size);
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace
+
+Phase2Plan plan_phase2(const YPool& pool) {
+  Phase2Plan plan;
+  plan.pool_size = pool.size();
+  plan.group_size = pool.group_secret_size();
+
+  const std::size_t m = plan.pool_size;
+  const std::size_t l = plan.group_size;
+  if (m == 0 || l == 0) {
+    // No shared secret possible this round (the paper's worst case).
+    plan.group_size = 0;
+    plan.h = gf::Matrix(0, m);
+    plan.c = gf::Matrix(0, m);
+    return plan;
+  }
+  if (m > gf::mds::kMaxColumns)
+    throw std::invalid_argument("plan_phase2: pool too large for GF(2^8)");
+
+  const gf::Matrix v = gf::mds::vandermonde_square(m);
+  std::vector<std::size_t> top(m - l), bottom(l);
+  for (std::size_t i = 0; i < m - l; ++i) top[i] = i;
+  for (std::size_t i = 0; i < l; ++i) bottom[i] = m - l + i;
+  plan.h = v.select_rows(top);
+  plan.c = v.select_rows(bottom);
+  plan.z_announcement = announcement_from(plan.h);
+  plan.s_announcement = announcement_from(plan.c);
+  return plan;
+}
+
+std::vector<packet::Payload> make_z_payloads(
+    const Phase2Plan& plan, std::span<const packet::Payload> y_contents,
+    std::size_t payload_size) {
+  return apply_rows(plan.h, y_contents, payload_size);
+}
+
+std::vector<packet::Payload> recover_all_y(
+    const Phase2Plan& plan,
+    std::span<const std::optional<packet::Payload>> own_y,
+    std::span<const packet::Payload> z_payloads, std::size_t payload_size) {
+  const std::size_t m = plan.pool_size;
+  if (own_y.size() != m)
+    throw std::invalid_argument("recover_all_y: own_y size != pool size");
+  if (z_payloads.size() != plan.h.rows())
+    throw std::invalid_argument("recover_all_y: z count mismatch");
+
+  std::vector<std::size_t> unknown;
+  for (std::size_t j = 0; j < m; ++j)
+    if (!own_y[j].has_value()) unknown.push_back(j);
+  if (unknown.size() > plan.h.rows())
+    throw std::invalid_argument(
+        "recover_all_y: more unknowns than z-packets (M_i < L?)");
+
+  std::vector<packet::Payload> y(m);
+  for (std::size_t j = 0; j < m; ++j)
+    if (own_y[j].has_value()) y[j] = *own_y[j];
+  if (unknown.empty()) return y;
+
+  // Residual r_i = z_i - sum_{known j} H[i][j] * y_j  =  H[:,unknown] * y_u.
+  std::vector<packet::Payload> residual(plan.h.rows());
+  for (std::size_t i = 0; i < plan.h.rows(); ++i) {
+    packet::Payload r = z_payloads[i];
+    if (r.size() != payload_size)
+      throw std::invalid_argument("recover_all_y: z payload size mismatch");
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!own_y[j].has_value()) continue;
+      const gf::GF256 coeff = plan.h.at(i, j);
+      if (!coeff.is_zero()) gf::axpy(coeff, y[j].data(), r.data(), payload_size);
+    }
+    residual[i] = std::move(r);
+  }
+
+  // Solve the (M - L) x |unknown| system; full column rank is guaranteed by
+  // the Vandermonde structure. We invert a square |unknown| x |unknown|
+  // subsystem built from the first |unknown| z-rows (any such subset of
+  // Vandermonde rows 0..M-L-1 restricted to |unknown| columns is
+  // invertible).
+  std::vector<std::size_t> rows_used(unknown.size());
+  for (std::size_t i = 0; i < unknown.size(); ++i) rows_used[i] = i;
+  const gf::Matrix sub =
+      plan.h.select_rows(rows_used).select_columns(unknown);
+  const auto inv = sub.inverse();
+  if (!inv.has_value())
+    throw std::logic_error("recover_all_y: repair system singular");
+
+  for (std::size_t u = 0; u < unknown.size(); ++u) {
+    packet::Payload p(payload_size, 0);
+    for (std::size_t i = 0; i < unknown.size(); ++i) {
+      const gf::GF256 coeff = inv->at(u, i);
+      if (!coeff.is_zero())
+        gf::axpy(coeff, residual[rows_used[i]].data(), p.data(), payload_size);
+    }
+    y[unknown[u]] = std::move(p);
+  }
+  return y;
+}
+
+std::vector<packet::Payload> make_s_payloads(
+    const Phase2Plan& plan, std::span<const packet::Payload> y_contents,
+    std::size_t payload_size) {
+  return apply_rows(plan.c, y_contents, payload_size);
+}
+
+}  // namespace thinair::core

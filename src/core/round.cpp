@@ -1,0 +1,78 @@
+#include "core/round.h"
+
+#include "channel/interference.h"
+#include "net/reliable.h"
+#include "packet/serialize.h"
+
+namespace thinair::core {
+
+RoundContext open_round(net::Medium& medium, packet::NodeId alice,
+                        packet::RoundId round, std::size_t n,
+                        std::size_t payload_bytes) {
+  const auto terminals = medium.terminals();
+  const auto eavesdroppers = medium.eavesdroppers();
+
+  std::vector<packet::NodeId> receivers;
+  for (packet::NodeId t : terminals)
+    if (t != alice) receivers.push_back(t);
+
+  RoundContext ctx{
+      .alice = alice,
+      .receivers = receivers,
+      .x_payloads = std::vector<packet::Payload>(n),
+      .rx_payloads = std::vector<std::vector<std::optional<packet::Payload>>>(
+          receivers.size(),
+          std::vector<std::optional<packet::Payload>>(n, std::nullopt)),
+      .rx_indices = std::vector<std::vector<std::uint32_t>>(receivers.size()),
+      .eve_indices = {},
+      .slot_of = std::vector<std::size_t>(n, 0),
+      .table = ReceptionTable(alice, receivers, n),
+  };
+
+  // Step 1: N random payloads, broadcast once each.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    packet::Payload body(payload_bytes);
+    for (auto& b : body) b = medium.rng().next_byte();
+    ctx.x_payloads[i] = body;
+
+    packet::Packet pkt{.kind = packet::Kind::kData,
+                       .source = alice,
+                       .round = round,
+                       .seq = packet::PacketSeq{i},
+                       .payload = std::move(body)};
+    ctx.slot_of[i] = medium.slot() % channel::InterferenceSchedule::kPatterns;
+    const net::Medium::TxResult tx =
+        medium.transmit(alice, pkt, net::TrafficClass::kData);
+
+    for (std::size_t ri = 0; ri < receivers.size(); ++ri) {
+      if (tx.delivered.contains(receivers[ri])) {
+        ctx.rx_payloads[ri][i] = ctx.x_payloads[i];
+        ctx.rx_indices[ri].push_back(i);
+      }
+    }
+    for (packet::NodeId e : eavesdroppers) {
+      if (tx.delivered.contains(e)) {
+        ctx.eve_indices.push_back(i);
+        break;  // union view: one antenna hearing it is enough
+      }
+    }
+  }
+
+  // Step 2: reliable reception reports.
+  for (std::size_t ri = 0; ri < receivers.size(); ++ri) {
+    ctx.table.set_received(receivers[ri], ctx.rx_indices[ri]);
+    const packet::ReceptionReport report{static_cast<std::uint32_t>(n),
+                                         ctx.rx_indices[ri]};
+    packet::Packet pkt{.kind = packet::Kind::kReport,
+                       .source = receivers[ri],
+                       .round = round,
+                       .seq = packet::PacketSeq{0},
+                       .payload = packet::encode(report)};
+    net::reliable_broadcast(medium, receivers[ri], pkt,
+                            net::TrafficClass::kControl);
+  }
+
+  return ctx;
+}
+
+}  // namespace thinair::core

@@ -1,0 +1,35 @@
+#pragma once
+// The common opening of every protocol round (phase 1 steps 1-2): Alice
+// broadcasts N random x-packets over the lossy channel and every other
+// terminal reliably reports what it received. Shared by the group
+// algorithm (session.h) and the unicast baseline (unicast.h).
+
+#include <optional>
+#include <vector>
+
+#include "core/reception.h"
+#include "net/medium.h"
+
+namespace thinair::core {
+
+struct RoundContext {
+  packet::NodeId alice;
+  std::vector<packet::NodeId> receivers;    // terminals other than Alice
+  std::vector<packet::Payload> x_payloads;  // all N, as Alice sent them
+  // Per receiver: the payloads it actually received (nullopt = missed).
+  std::vector<std::vector<std::optional<packet::Payload>>> rx_payloads;
+  std::vector<std::vector<std::uint32_t>> rx_indices;
+  std::vector<std::uint32_t> eve_indices;  // union over eavesdroppers
+  std::vector<std::size_t> slot_of;  // interference slot of each x-packet
+  ReceptionTable table;
+};
+
+/// Run steps 1-2 on the medium: transmit the x-packets (kData), collect
+/// per-node receptions, and reliably broadcast every receiver's report
+/// (kControl). Returns the full bookkeeping for the rest of the round.
+[[nodiscard]] RoundContext open_round(net::Medium& medium,
+                                      packet::NodeId alice,
+                                      packet::RoundId round, std::size_t n,
+                                      std::size_t payload_bytes);
+
+}  // namespace thinair::core

@@ -1,0 +1,19 @@
+#include "core/secret.h"
+
+namespace thinair::core {
+
+void SecretPool::deposit(const std::vector<std::uint8_t>& bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  deposited_ += bytes.size();
+}
+
+std::optional<std::vector<std::uint8_t>> SecretPool::draw(std::size_t count) {
+  if (buffer_.size() < count) return std::nullopt;
+  std::vector<std::uint8_t> out(buffer_.begin(),
+                                buffer_.begin() + static_cast<std::ptrdiff_t>(count));
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(count));
+  return out;
+}
+
+}  // namespace thinair::core

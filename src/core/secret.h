@@ -1,0 +1,42 @@
+#pragma once
+// Secret material handling.
+//
+// The protocol's output is a stream of shared secret bytes. SecretPool
+// accumulates them and dispenses fixed-size keys, supporting the usage the
+// paper's introduction motivates: continuously refreshing encryption keys
+// "out of thin air" so that no long-lived key material exists that could
+// be stolen ([4]'s dynamic-secrets model). Draws are destructive: bytes
+// are handed out once and wiped, one-time-pad style.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+namespace thinair::core {
+
+class SecretPool {
+ public:
+  /// Append freshly agreed secret bytes.
+  void deposit(const std::vector<std::uint8_t>& bytes);
+
+  /// Bytes currently available.
+  [[nodiscard]] std::size_t available() const { return buffer_.size(); }
+  [[nodiscard]] std::size_t total_deposited() const { return deposited_; }
+
+  /// Remove and return `count` bytes, or std::nullopt when fewer are
+  /// available (never hands out partial keys).
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> draw(
+      std::size_t count);
+
+  /// Convenience: draw a 128-bit key.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> draw_key128() {
+    return draw(16);
+  }
+
+ private:
+  std::deque<std::uint8_t> buffer_;
+  std::size_t deposited_ = 0;
+};
+
+}  // namespace thinair::core

@@ -1,0 +1,183 @@
+#include "core/unicast.h"
+
+#include <stdexcept>
+
+#include "analysis/eve_view.h"
+#include "net/reliable.h"
+#include "packet/serialize.h"
+
+namespace thinair::core {
+
+UnicastSession::UnicastSession(net::Medium& medium, SessionConfig config)
+    : medium_(medium), config_(config) {
+  if (medium_.terminals().size() < 2)
+    throw std::invalid_argument("UnicastSession: need >= 2 terminals");
+  if (config_.x_packets_per_round == 0)
+    throw std::invalid_argument("UnicastSession: N == 0");
+  if (config_.payload_bytes == 0)
+    throw std::invalid_argument("UnicastSession: empty payloads");
+}
+
+SessionResult UnicastSession::run() {
+  const auto terminals = medium_.terminals();
+  const std::size_t rounds =
+      config_.rounds == 0 ? terminals.size() : config_.rounds;
+
+  SessionResult result;
+  const net::Ledger ledger_before = medium_.ledger();
+  const double time_before = medium_.now();
+
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const packet::NodeId alice =
+        config_.rotate_alice ? terminals[r % terminals.size()] : terminals[0];
+    result.rounds.push_back(
+        run_round(alice, packet::RoundId{next_round_++}, result));
+  }
+
+  result.ledger = medium_.ledger().since(ledger_before);
+  result.duration_s = medium_.now() - time_before;
+  return result;
+}
+
+RoundOutcome UnicastSession::run_round(packet::NodeId alice,
+                                       packet::RoundId round,
+                                       SessionResult& result) {
+  const std::size_t n = config_.x_packets_per_round;
+  const std::size_t payload = config_.payload_bytes;
+
+  // Phase 1 is identical to the group algorithm.
+  const RoundContext ctx = open_round(medium_, alice, round, n, payload);
+  std::vector<std::size_t> receiver_cells;
+  if (!config_.estimator.occupied_cells.empty())
+    for (packet::NodeId r : ctx.receivers)
+      receiver_cells.push_back(config_.estimator.occupied_cells.at(r.value));
+  const auto estimator =
+      build_estimator(config_.estimator, ctx.table, ctx.eve_indices,
+                      ctx.slot_of, receiver_cells);
+  const Phase1Result phase1 =
+      run_phase1(ctx.table, *estimator, config_.pool_strategy);
+  const YPool& pool = phase1.build.pool;
+
+  {
+    packet::Packet pkt{.kind = packet::Kind::kAnnouncement,
+                       .source = alice,
+                       .round = round,
+                       .seq = packet::PacketSeq{0},
+                       .payload = packet::encode(phase1.announcement)};
+    net::reliable_broadcast(medium_, alice, pkt, net::TrafficClass::kControl);
+  }
+
+  // The group secret is L y-packets known to the first receiver; every
+  // other receiver gets it one-time-padded with its own pair-wise secret.
+  // Pads must be *disjoint pool rows*: reusing a y-packet in two pads (or
+  // in a pad and the secret) hands Eve linear relations between
+  // ciphertexts. Rows are therefore assigned exclusively, each to the
+  // audience member with the thinnest assignment so far, and L is the
+  // minimum number of rows any receiver ends up owning — the operational
+  // price the unicast baseline pays for not coding (its Figure-1 curve is
+  // an upper bound that assumes fully independent pair-wise secrets).
+  const gf::Matrix g = pool.rows();
+  std::vector<std::vector<std::size_t>> assigned(ctx.receivers.size());
+  for (std::size_t row = 0; row < pool.size(); ++row) {
+    std::size_t best = ctx.receivers.size();
+    for (std::size_t ri = 0; ri < ctx.receivers.size(); ++ri) {
+      if (!pool.entries()[row].audience.contains(ctx.receivers[ri])) continue;
+      if (best == ctx.receivers.size() ||
+          assigned[ri].size() < assigned[best].size())
+        best = ri;
+    }
+    if (best != ctx.receivers.size()) assigned[best].push_back(row);
+  }
+  std::size_t l = pool.size();
+  for (const auto& rows : assigned) l = std::min(l, rows.size());
+  if (ctx.receivers.empty()) l = 0;
+
+  RoundOutcome outcome;
+  outcome.alice = alice;
+  outcome.universe = n;
+  for (packet::NodeId r : ctx.receivers)
+    outcome.pairwise_size.push_back(pool.count_for(r));
+  outcome.pool_size = pool.size();
+  outcome.group_packets = l;
+  outcome.secret_bits = l * payload * 8;
+  outcome.data_packets =
+      n + (ctx.receivers.size() < 2 ? 0 : (ctx.receivers.size() - 1) * l);
+
+  if (l == 0 || ctx.receivers.empty()) {
+    analysis::EveView eve(n);
+    eve.observe_x(ctx.eve_indices);
+    outcome.leakage = analysis::compute_leakage(eve, gf::Matrix(0, n));
+    return outcome;
+  }
+
+  const std::vector<packet::Payload> y_contents =
+      all_y_contents(pool, ctx.x_payloads, payload);
+
+  const auto secret_indices_of = [&](std::size_t ri) {
+    auto rows = assigned[ri];
+    rows.resize(l);  // first L exclusively-assigned rows
+    return rows;
+  };
+
+  const std::vector<std::size_t> group_idx = secret_indices_of(0);
+  std::vector<packet::Payload> s_payloads;
+  s_payloads.reserve(l);
+  for (std::size_t j : group_idx) s_payloads.push_back(y_contents[j]);
+
+  analysis::EveView eve(n);
+  eve.observe_x(ctx.eve_indices);
+
+  const gf::Matrix secret_rows = g.select_rows(group_idx);
+
+  // Unicast the padded secret to receivers 1..n-2 (receiver 0 holds it
+  // already). Ciphertext c_j = s_j + pad_j is public: feed it to Eve.
+  for (std::size_t ri = 1; ri < ctx.receivers.size(); ++ri) {
+    const std::vector<std::size_t> pad_idx = secret_indices_of(ri);
+    gf::Matrix cipher_rows(l, n);
+    for (std::size_t j = 0; j < l; ++j) {
+      packet::Payload body = s_payloads[j];
+      gf::axpy(gf::kOne, y_contents[pad_idx[j]].data(), body.data(), payload);
+
+      for (std::size_t c = 0; c < n; ++c)
+        cipher_rows.set(j, c,
+                        secret_rows.at(j, c) + g.at(pad_idx[j], c));
+
+      packet::Packet pkt{
+          .kind = packet::Kind::kCipher,
+          .source = alice,
+          .round = round,
+          .seq = packet::PacketSeq{static_cast<std::uint32_t>(j)},
+          .payload = std::move(body)};
+      net::reliable_unicast(medium_, alice, ctx.receivers[ri], pkt,
+                            net::TrafficClass::kCipher);
+    }
+    eve.observe_combinations(cipher_rows);
+  }
+
+  // Verification: each receiver strips its pad and must obtain the secret.
+  for (std::size_t ri = 1; ri < ctx.receivers.size(); ++ri) {
+    const auto own_y =
+        reconstruct_y(pool, ctx.receivers[ri], ctx.rx_payloads[ri], payload);
+    const std::vector<std::size_t> pad_idx = secret_indices_of(ri);
+    for (std::size_t j = 0; j < l; ++j) {
+      // Ciphertext as transmitted:
+      packet::Payload cipher = s_payloads[j];
+      gf::axpy(gf::kOne, y_contents[pad_idx[j]].data(), cipher.data(),
+               payload);
+      // Receiver-side decryption with its reconstructed pad:
+      if (!own_y[pad_idx[j]].has_value())
+        throw std::logic_error("UnicastSession: receiver lacks its pad");
+      gf::axpy(gf::kOne, own_y[pad_idx[j]]->data(), cipher.data(), payload);
+      if (cipher != s_payloads[j])
+        throw std::logic_error(
+            "UnicastSession: receiver decoded a different secret");
+    }
+  }
+
+  outcome.leakage = analysis::compute_leakage(eve, secret_rows);
+  for (const packet::Payload& s : s_payloads)
+    result.secret.insert(result.secret.end(), s.begin(), s.end());
+  return outcome;
+}
+
+}  // namespace thinair::core

@@ -1,0 +1,119 @@
+#pragma once
+// GF(2^8) arithmetic.
+//
+// The protocol's linear combinations (y-, z- and s-packets, Sec. 3 of the
+// paper) and the MDS constructions of the technical report [9] require a
+// finite field large enough to index every packet in a round with a distinct
+// evaluation point. GF(2^8) supports up to 255 distinct nonzero points and
+// lets payload bytes act directly as field symbols.
+//
+// Representation: polynomial basis modulo the primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the conventional Reed-Solomon choice;
+// x (= 0x02) is a primitive element. Multiplication and inversion use
+// compile-time generated log/exp tables.
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+
+namespace thinair::gf {
+
+namespace detail {
+
+inline constexpr unsigned kPrimitivePoly = 0x11D;  // x^8+x^4+x^3+x^2+1
+inline constexpr unsigned kGenerator = 0x02;
+
+struct Tables {
+  // exp_[i] = alpha^i for i in [0, 509]; doubled range avoids a modular
+  // reduction in mul(). log_[v] = discrete log of v (log_[0] unused).
+  std::array<std::uint8_t, 510> exp_{};
+  std::array<std::uint8_t, 256> log_{};
+};
+
+consteval Tables make_tables() {
+  Tables t{};
+  unsigned v = 1;
+  for (unsigned i = 0; i < 255; ++i) {
+    t.exp_[i] = static_cast<std::uint8_t>(v);
+    t.log_[v] = static_cast<std::uint8_t>(i);
+    v <<= 1;
+    if (v & 0x100) v ^= kPrimitivePoly;
+  }
+  for (unsigned i = 255; i < 510; ++i) t.exp_[i] = t.exp_[i - 255];
+  t.log_[0] = 0;  // sentinel, never consulted for zero operands
+  return t;
+}
+
+inline constexpr Tables kTables = make_tables();
+
+}  // namespace detail
+
+/// A GF(2^8) field element. Value type, trivially copyable, 1 byte.
+///
+/// Addition is bytewise XOR; multiplication is polynomial multiplication
+/// modulo 0x11D. Division by zero is a precondition violation and asserts
+/// in debug builds (returns 0 in release builds rather than invoking UB).
+class GF256 {
+ public:
+  constexpr GF256() = default;
+  explicit constexpr GF256(std::uint8_t v) : v_(v) {}
+
+  /// alpha^i for the primitive element alpha = 0x02.
+  static constexpr GF256 alpha_pow(unsigned i) {
+    return GF256(detail::kTables.exp_[i % 255]);
+  }
+
+  [[nodiscard]] constexpr std::uint8_t value() const { return v_; }
+  [[nodiscard]] constexpr bool is_zero() const { return v_ == 0; }
+
+  friend constexpr GF256 operator+(GF256 a, GF256 b) {
+    return GF256(static_cast<std::uint8_t>(a.v_ ^ b.v_));
+  }
+  friend constexpr GF256 operator-(GF256 a, GF256 b) { return a + b; }
+
+  friend constexpr GF256 operator*(GF256 a, GF256 b) {
+    if (a.v_ == 0 || b.v_ == 0) return GF256(0);
+    const unsigned s = detail::kTables.log_[a.v_] + detail::kTables.log_[b.v_];
+    return GF256(detail::kTables.exp_[s]);
+  }
+
+  /// Multiplicative inverse. Precondition: *this != 0.
+  [[nodiscard]] constexpr GF256 inv() const {
+    if (v_ == 0) return GF256(0);  // precondition violation; keep total
+    return GF256(detail::kTables.exp_[255 - detail::kTables.log_[v_]]);
+  }
+
+  friend constexpr GF256 operator/(GF256 a, GF256 b) { return a * b.inv(); }
+
+  /// this^e with e >= 0 (0^0 == 1 by convention).
+  [[nodiscard]] constexpr GF256 pow(unsigned e) const {
+    if (e == 0) return GF256(1);
+    if (v_ == 0) return GF256(0);
+    const unsigned l = (detail::kTables.log_[v_] * (e % 255u)) % 255u;
+    return GF256(detail::kTables.exp_[l]);
+  }
+
+  constexpr GF256& operator+=(GF256 o) { return *this = *this + o; }
+  constexpr GF256& operator-=(GF256 o) { return *this = *this + o; }
+  constexpr GF256& operator*=(GF256 o) { return *this = *this * o; }
+  constexpr GF256& operator/=(GF256 o) { return *this = *this / o; }
+
+  friend constexpr bool operator==(GF256, GF256) = default;
+
+ private:
+  std::uint8_t v_ = 0;
+};
+
+inline constexpr GF256 kZero{0};
+inline constexpr GF256 kOne{1};
+
+std::ostream& operator<<(std::ostream& os, GF256 v);
+
+/// y[i] += c * x[i] over a span of raw bytes; the workhorse of packet
+/// combining. Lengths must match.
+void axpy(GF256 c, const std::uint8_t* x, std::uint8_t* y, std::size_t n);
+
+/// y[i] = c * y[i].
+void scale(GF256 c, std::uint8_t* y, std::size_t n);
+
+}  // namespace thinair::gf

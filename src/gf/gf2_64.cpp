@@ -1,0 +1,11 @@
+#include "gf/gf2_64.h"
+
+#include <ostream>
+
+namespace thinair::gf {
+
+std::ostream& operator<<(std::ostream& os, GF64 v) {
+  return os << "G" << v.value();
+}
+
+}  // namespace thinair::gf

@@ -1,0 +1,72 @@
+#include "gf/linear_space.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace thinair::gf {
+
+std::size_t LinearSpace::reduce(std::vector<std::uint8_t>& v) const {
+  for (std::size_t b = 0; b < basis_.size(); ++b) {
+    const std::size_t p = pivots_[b];
+    const GF256 c{v[p]};
+    if (!c.is_zero()) axpy(c, basis_[b].data(), v.data(), dim_);
+  }
+  for (std::size_t i = 0; i < dim_; ++i)
+    if (v[i] != 0) return i;
+  return dim_;
+}
+
+bool LinearSpace::insert(std::span<const std::uint8_t> v) {
+  if (v.size() != dim_) throw std::invalid_argument("LinearSpace: bad length");
+  std::vector<std::uint8_t> w(v.begin(), v.end());
+  const std::size_t pivot = reduce(w);
+  if (pivot == dim_) return false;
+  scale(GF256{w[pivot]}.inv(), w.data(), dim_);
+  // Back-substitute into existing rows to stay fully reduced.
+  for (std::size_t b = 0; b < basis_.size(); ++b) {
+    const GF256 c{basis_[b][pivot]};
+    if (!c.is_zero()) axpy(c, w.data(), basis_[b].data(), dim_);
+  }
+  const auto pos = std::lower_bound(pivots_.begin(), pivots_.end(), pivot);
+  const auto idx = static_cast<std::size_t>(pos - pivots_.begin());
+  pivots_.insert(pos, pivot);
+  basis_.insert(basis_.begin() + static_cast<std::ptrdiff_t>(idx),
+                std::move(w));
+  return true;
+}
+
+std::size_t LinearSpace::insert_rows(const Matrix& m) {
+  if (m.cols() != dim_)
+    throw std::invalid_argument("LinearSpace: matrix width");
+  std::size_t added = 0;
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    if (insert(m.row(i))) ++added;
+  return added;
+}
+
+bool LinearSpace::insert_unit(std::size_t index) {
+  if (index >= dim_) throw std::out_of_range("LinearSpace: unit index");
+  std::vector<std::uint8_t> v(dim_, 0);
+  v[index] = 1;
+  return insert(v);
+}
+
+bool LinearSpace::contains(std::span<const std::uint8_t> v) const {
+  if (v.size() != dim_) throw std::invalid_argument("LinearSpace: bad length");
+  std::vector<std::uint8_t> w(v.begin(), v.end());
+  return reduce(w) == dim_;
+}
+
+std::size_t LinearSpace::residual_rank(const Matrix& m) const {
+  LinearSpace tmp = *this;
+  return tmp.insert_rows(m);
+}
+
+Matrix LinearSpace::basis() const {
+  Matrix out(basis_.size(), dim_);
+  for (std::size_t i = 0; i < basis_.size(); ++i)
+    std::copy(basis_[i].begin(), basis_[i].end(), out.row(i).begin());
+  return out;
+}
+
+}  // namespace thinair::gf

@@ -1,0 +1,92 @@
+#pragma once
+// Dense matrices over GF(2^8) with the linear algebra the protocol needs:
+// multiplication (packet combining), Gaussian elimination (decoding at the
+// terminals), rank (secrecy/equivocation analysis) and inversion (MDS
+// sub-matrix checks).
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "gf/gf256.h"
+
+namespace thinair::gf {
+
+/// Row-major dense matrix over GF(2^8).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, std::uint8_t{0}) {}
+
+  /// Build from nested initializer lists of raw byte values; all inner
+  /// lists must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<unsigned>> rows);
+
+  static Matrix identity(std::size_t n);
+  static Matrix zero(std::size_t rows, std::size_t cols) {
+    return Matrix(rows, cols);
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  [[nodiscard]] GF256 at(std::size_t r, std::size_t c) const {
+    return GF256(data_[r * cols_ + c]);
+  }
+  void set(std::size_t r, std::size_t c, GF256 v) {
+    data_[r * cols_ + c] = v.value();
+  }
+
+  [[nodiscard]] std::span<const std::uint8_t> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<std::uint8_t> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// C = (*this) * rhs. Requires cols() == rhs.rows().
+  [[nodiscard]] Matrix mul(const Matrix& rhs) const;
+
+  [[nodiscard]] Matrix transpose() const;
+
+  /// Rows of `below` appended under this matrix (column counts must match).
+  [[nodiscard]] Matrix vstack(const Matrix& below) const;
+  /// Columns of `right` appended to the right (row counts must match).
+  [[nodiscard]] Matrix hstack(const Matrix& right) const;
+
+  /// New matrix keeping only the given columns, in the given order.
+  [[nodiscard]] Matrix select_columns(std::span<const std::size_t> cols) const;
+  /// New matrix keeping only the given rows, in the given order.
+  [[nodiscard]] Matrix select_rows(std::span<const std::size_t> rows) const;
+
+  /// In-place reduction to reduced row-echelon form; returns pivot columns.
+  std::vector<std::size_t> row_reduce();
+
+  [[nodiscard]] std::size_t rank() const;
+  [[nodiscard]] bool invertible() const {
+    return rows_ == cols_ && rank() == rows_;
+  }
+
+  /// Inverse; std::nullopt when singular or non-square.
+  [[nodiscard]] std::optional<Matrix> inverse() const;
+
+  /// Solve (*this) * X = B for X. Returns std::nullopt when inconsistent or
+  /// underdetermined (the solution must be unique).
+  [[nodiscard]] std::optional<Matrix> solve(const Matrix& b) const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+}  // namespace thinair::gf

@@ -1,0 +1,93 @@
+#include "net/medium.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace thinair::net {
+
+Medium::Medium(const channel::ErasureModel& model, channel::Rng rng,
+               MacParams params)
+    : model_(model), rng_(rng), params_(params) {
+  if (!(params_.data_rate_bps > 0.0))
+    throw std::invalid_argument("Medium: data rate must be positive");
+  if (!(params_.slot_duration_s > 0.0))
+    throw std::invalid_argument("Medium: slot duration must be positive");
+}
+
+void Medium::attach(packet::NodeId node, Role role) {
+  if (nodes_.contains(node)) throw std::invalid_argument("Medium: re-attach");
+  nodes_.emplace(node, role);
+  order_.push_back(node);
+}
+
+std::vector<packet::NodeId> Medium::terminals() const {
+  std::vector<packet::NodeId> out;
+  for (packet::NodeId id : order_)
+    if (nodes_.at(id) == Role::kTerminal) out.push_back(id);
+  return out;
+}
+
+std::vector<packet::NodeId> Medium::eavesdroppers() const {
+  std::vector<packet::NodeId> out;
+  for (packet::NodeId id : order_)
+    if (nodes_.at(id) == Role::kEavesdropper) out.push_back(id);
+  return out;
+}
+
+bool Medium::is_attached(packet::NodeId node) const {
+  return nodes_.contains(node);
+}
+
+double Medium::frame_airtime_s(std::size_t wire_bytes) const {
+  return params_.per_frame_overhead_s +
+         static_cast<double>(wire_bytes) * 8.0 / params_.data_rate_bps;
+}
+
+void Medium::wait(double seconds) {
+  if (seconds < 0.0) throw std::invalid_argument("Medium::wait: negative");
+  now_s_ += seconds;
+}
+
+void Medium::wait_for_next_slot() {
+  const double dur = params_.slot_duration_s;
+  const double next =
+      (std::floor(now_s_ / dur) + 1.0) * dur + params_.inter_frame_gap_s;
+  now_s_ = next;
+}
+
+Medium::TxResult Medium::transmit(packet::NodeId source,
+                                  const packet::Packet& pkt,
+                                  TrafficClass cls) {
+  if (!nodes_.contains(source))
+    throw std::invalid_argument("Medium::transmit: unknown source");
+
+  const std::size_t tx_slot = slot();
+  TxResult result;
+  result.airtime_s = frame_airtime_s(pkt.wire_size());
+
+  for (packet::NodeId rx : order_) {
+    if (rx == source) continue;
+    const channel::LinkContext link{source, rx, tx_slot};
+    if (!model_.erased(rng_, link)) result.delivered.insert(rx);
+  }
+
+  ledger_.add(cls, pkt.wire_size(), result.airtime_s);
+  trace_.record(TraceEntry{
+      .time_s = now_s_,
+      .slot = tx_slot,
+      .cls = cls,
+      .kind = pkt.kind,
+      .source = source,
+      .round = pkt.round,
+      .seq = pkt.seq,
+      .payload_bytes = pkt.payload.size(),
+      .delivered = result.delivered,
+      .reliable = false,
+      .attempt = 0,
+  });
+
+  now_s_ += result.airtime_s + params_.inter_frame_gap_s;
+  return result;
+}
+
+}  // namespace thinair::net

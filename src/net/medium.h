@@ -1,0 +1,94 @@
+#pragma once
+// The broadcast medium: the simulator's stand-in for the paper's 802.11g
+// ad-hoc network (Sec. 2 and 4).
+//
+// A single shared channel: when a node transmits, every other attached node
+// independently either receives the frame or loses it according to the
+// ErasureModel. The medium keeps a virtual clock (frames occupy airtime at
+// the configured rate, 1 Mbps with 100-byte packets in the paper), derives
+// the interference-schedule slot from the clock, appends every frame to the
+// reception trace, and charges every byte to the ledger.
+//
+// The medium is sequential and deterministic given the Rng — terminals take
+// turns transmitting under the protocol, so no collision model is needed
+// (the paper's terminals likewise defer to the 802.11 MAC).
+
+#include <unordered_map>
+#include <vector>
+
+#include "channel/erasure.h"
+#include "channel/rng.h"
+#include "net/ledger.h"
+#include "net/trace.h"
+#include "packet/packet.h"
+
+namespace thinair::net {
+
+/// Role of an attached node; terminals participate in the protocol (and
+/// must be reached by reliable broadcasts), the eavesdropper only listens.
+enum class Role : std::uint8_t { kTerminal, kEavesdropper };
+
+struct MacParams {
+  double data_rate_bps = 1e6;        // paper: 1 Mbps
+  double per_frame_overhead_s = 192e-6;  // PLCP preamble + header at 1 Mbps
+  double inter_frame_gap_s = 50e-6;      // DIFS-like spacing
+  double slot_duration_s = 12e-3;        // interference rotation period
+};
+
+class Medium {
+ public:
+  struct TxResult {
+    NodeSet delivered;   // excludes the sender
+    double airtime_s = 0.0;
+  };
+
+  /// The erasure model must outlive the medium.
+  Medium(const channel::ErasureModel& model, channel::Rng rng,
+         MacParams params = {});
+
+  void attach(packet::NodeId node, Role role);
+  [[nodiscard]] std::vector<packet::NodeId> terminals() const;
+  [[nodiscard]] std::vector<packet::NodeId> eavesdroppers() const;
+  [[nodiscard]] bool is_attached(packet::NodeId node) const;
+
+  /// Broadcast a frame once (the paper's "transmits"). Every other attached
+  /// node draws independently from the erasure model.
+  TxResult transmit(packet::NodeId source, const packet::Packet& pkt,
+                    TrafficClass cls);
+
+  /// Current virtual time and interference slot.
+  [[nodiscard]] double now() const { return now_s_; }
+  [[nodiscard]] std::size_t slot() const {
+    return static_cast<std::size_t>(now_s_ / params_.slot_duration_s);
+  }
+
+  [[nodiscard]] const Ledger& ledger() const { return ledger_; }
+  [[nodiscard]] Ledger& ledger() { return ledger_; }
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+  [[nodiscard]] Trace& trace() { return trace_; }
+  [[nodiscard]] const MacParams& params() const { return params_; }
+  [[nodiscard]] channel::Rng& rng() { return rng_; }
+
+  /// Airtime of a frame with the given wire size.
+  [[nodiscard]] double frame_airtime_s(std::size_t wire_bytes) const;
+
+  /// Let the virtual clock idle for `seconds` (no bytes transmitted).
+  void wait(double seconds);
+
+  /// Idle until just after the next interference-slot boundary — the
+  /// backoff reliable broadcast uses between retransmissions so retries do
+  /// not burn airtime into the same noise pattern that just erased them.
+  void wait_for_next_slot();
+
+ private:
+  const channel::ErasureModel& model_;
+  channel::Rng rng_;
+  MacParams params_;
+  std::unordered_map<packet::NodeId, Role> nodes_;
+  std::vector<packet::NodeId> order_;  // attachment order, for determinism
+  double now_s_ = 0.0;
+  Ledger ledger_;
+  Trace trace_;
+};
+
+}  // namespace thinair::net

@@ -1,0 +1,94 @@
+#include "net/reliable.h"
+
+#include <stdexcept>
+
+namespace thinair::net {
+
+ReliableResult reliable_broadcast(Medium& medium, packet::NodeId source,
+                                  const packet::Packet& pkt, TrafficClass cls,
+                                  ReliableParams params) {
+  const auto terminals = medium.terminals();
+
+  ReliableResult result;
+  std::size_t pending = 0;
+  for (packet::NodeId t : terminals)
+    if (t != source) ++pending;
+
+  std::size_t reliable_frames = 0;
+  while (pending > 0) {
+    if (result.attempts >= params.max_attempts)
+      throw std::runtime_error(
+          "reliable_broadcast: channel too lossy, attempts exhausted");
+    ++result.attempts;
+
+    const Medium::TxResult tx = medium.transmit(source, pkt, cls);
+    ++reliable_frames;
+
+    for (packet::NodeId rx : terminals) {
+      if (rx == source || result.delivered.contains(rx)) continue;
+      if (tx.delivered.contains(rx)) {
+        result.delivered.insert(rx);
+        --pending;
+        // Acknowledgement frame from the new receiver; acks are short and
+        // assumed reliable (they carry no secret-relevant content).
+        packet::Packet ack{.kind = packet::Kind::kAck,
+                           .source = rx,
+                           .round = pkt.round,
+                           .seq = pkt.seq,
+                           .payload = packet::Payload(params.ack_payload_bytes,
+                                                      std::uint8_t{0})};
+        medium.ledger().add(TrafficClass::kAck, ack.wire_size(),
+                            medium.frame_airtime_s(ack.wire_size()));
+      }
+    }
+    // Any eavesdropper that happened to receive an attempt is noted, though
+    // the conservative model treats the content as public anyway.
+    for (packet::NodeId e : medium.eavesdroppers())
+      if (tx.delivered.contains(e)) result.delivered.insert(e);
+
+    if (pending > 0 && params.slot_backoff) medium.wait_for_next_slot();
+  }
+
+  medium.trace().mark_reliable(reliable_frames);
+  return result;
+}
+
+ReliableResult reliable_unicast(Medium& medium, packet::NodeId source,
+                                packet::NodeId dest, const packet::Packet& pkt,
+                                TrafficClass cls, ReliableParams params) {
+  if (!medium.is_attached(dest))
+    throw std::invalid_argument("reliable_unicast: unknown destination");
+
+  ReliableResult result;
+  std::size_t reliable_frames = 0;
+  while (!result.delivered.contains(dest)) {
+    if (result.attempts >= params.max_attempts)
+      throw std::runtime_error(
+          "reliable_unicast: channel too lossy, attempts exhausted");
+    ++result.attempts;
+
+    const Medium::TxResult tx = medium.transmit(source, pkt, cls);
+    if (tx.delivered.contains(dest)) {
+      result.delivered.insert(dest);
+      packet::Packet ack{.kind = packet::Kind::kAck,
+                         .source = dest,
+                         .round = pkt.round,
+                         .seq = pkt.seq,
+                         .payload = packet::Payload(params.ack_payload_bytes,
+                                                    std::uint8_t{0})};
+      medium.ledger().add(TrafficClass::kAck, ack.wire_size(),
+                          medium.frame_airtime_s(ack.wire_size()));
+    }
+    ++reliable_frames;
+    for (packet::NodeId e : medium.eavesdroppers())
+      if (tx.delivered.contains(e)) result.delivered.insert(e);
+
+    if (!result.delivered.contains(dest) && params.slot_backoff)
+      medium.wait_for_next_slot();
+  }
+
+  medium.trace().mark_reliable(reliable_frames);
+  return result;
+}
+
+}  // namespace thinair::net

@@ -1,0 +1,32 @@
+#include "packet/combination.h"
+
+#include <stdexcept>
+
+namespace thinair::packet {
+
+Payload Combination::apply(std::span<const Payload> inputs,
+                           std::size_t payload_size) const {
+  Payload out(payload_size, 0);
+  for (const Term& t : terms_) {
+    if (t.index >= inputs.size())
+      throw std::out_of_range("Combination::apply: index out of range");
+    const Payload& in = inputs[t.index];
+    if (in.size() != payload_size)
+      throw std::invalid_argument("Combination::apply: payload size mismatch");
+    gf::axpy(t.coeff, in.data(), out.data(), payload_size);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Combination::dense_row(std::size_t universe) const {
+  std::vector<std::uint8_t> row(universe, 0);
+  for (const Term& t : terms_) {
+    if (t.index >= universe)
+      throw std::out_of_range("Combination::dense_row: index out of range");
+    row[t.index] = static_cast<std::uint8_t>(row[t.index] ^
+                                             t.coeff.value());  // accumulate
+  }
+  return row;
+}
+
+}  // namespace thinair::packet

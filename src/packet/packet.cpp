@@ -1,0 +1,31 @@
+#include "packet/packet.h"
+
+#include <ostream>
+
+namespace thinair::packet {
+
+std::string_view to_string(Kind k) {
+  switch (k) {
+    case Kind::kData: return "data";
+    case Kind::kCoded: return "coded";
+    case Kind::kReport: return "report";
+    case Kind::kAnnouncement: return "announcement";
+    case Kind::kAck: return "ack";
+    case Kind::kCipher: return "cipher";
+  }
+  return "unknown";
+}
+
+std::ostream& operator<<(std::ostream& os, Kind k) { return os << to_string(k); }
+
+std::ostream& operator<<(std::ostream& os, NodeId id) {
+  return os << "T" << id.value;
+}
+std::ostream& operator<<(std::ostream& os, PacketSeq id) {
+  return os << "#" << id.value;
+}
+std::ostream& operator<<(std::ostream& os, RoundId id) {
+  return os << "r" << id.value;
+}
+
+}  // namespace thinair::packet

@@ -1,0 +1,43 @@
+#include "testbed/experiment.h"
+
+#include <stdexcept>
+
+#include "core/unicast.h"
+
+namespace thinair::testbed {
+
+namespace {
+
+template <typename Session>
+ExperimentResult run_with(const ExperimentConfig& config) {
+  if (!config.placement.valid())
+    throw std::invalid_argument("run_experiment: invalid placement");
+
+  const std::size_t n = config.placement.n_terminals();
+  channel::TestbedChannel ch = build_channel(config.placement, config.channel);
+  net::Medium medium(ch, channel::Rng(config.seed), config.mac);
+  for (std::size_t i = 0; i < n; ++i)
+    medium.attach(terminal_node(i), net::Role::kTerminal);
+  medium.attach(eve_node(n), net::Role::kEavesdropper);
+
+  core::SessionConfig session_config = config.session;
+  if (session_config.estimator.occupied_cells.empty())
+    for (channel::CellIndex c : config.placement.terminal_cells)
+      session_config.estimator.occupied_cells.push_back(c.value);
+
+  Session session(medium, session_config);
+  ExperimentResult result{session.run(), n, config.placement};
+  return result;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  return run_with<core::GroupSecretSession>(config);
+}
+
+ExperimentResult run_unicast_experiment(const ExperimentConfig& config) {
+  return run_with<core::UnicastSession>(config);
+}
+
+}  // namespace thinair::testbed

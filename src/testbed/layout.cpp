@@ -1,0 +1,26 @@
+#include "testbed/layout.h"
+
+#include <set>
+
+namespace thinair::testbed {
+
+bool Placement::valid() const {
+  std::set<std::size_t> used;
+  for (channel::CellIndex c : terminal_cells) {
+    if (c.value >= channel::CellGrid::kCells) return false;
+    if (!used.insert(c.value).second) return false;
+  }
+  if (eve_cell.value >= channel::CellGrid::kCells) return false;
+  return !used.contains(eve_cell.value);
+}
+
+channel::TestbedChannel build_channel(const Placement& placement,
+                                      channel::TestbedChannel::Config config) {
+  channel::TestbedChannel ch(config);
+  for (std::size_t i = 0; i < placement.terminal_cells.size(); ++i)
+    ch.place_in_cell(terminal_node(i), placement.terminal_cells[i]);
+  ch.place_in_cell(eve_node(placement.n_terminals()), placement.eve_cell);
+  return ch;
+}
+
+}  // namespace thinair::testbed

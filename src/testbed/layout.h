@@ -1,0 +1,43 @@
+#pragma once
+// The paper's deployment (Sec. 4): a 14 m^2 indoor area divided into 9
+// logical cells; n terminals and one adversary, each in its own cell;
+// 6 WARP interferers along the perimeter rotating through 9 noise
+// patterns. This header fixes the node-id convention and materialises a
+// TestbedChannel from a placement.
+
+#include <vector>
+
+#include "channel/testbed_channel.h"
+#include "packet/types.h"
+
+namespace thinair::testbed {
+
+/// Terminals are nodes 0..n-1; Eve is node n.
+[[nodiscard]] inline packet::NodeId terminal_node(std::size_t i) {
+  return packet::NodeId{static_cast<std::uint16_t>(i)};
+}
+[[nodiscard]] inline packet::NodeId eve_node(std::size_t n_terminals) {
+  return packet::NodeId{static_cast<std::uint16_t>(n_terminals)};
+}
+
+/// Where everyone stands: one distinct cell per node (the paper's rule —
+/// "each cell is occupied by at most one node").
+struct Placement {
+  std::vector<channel::CellIndex> terminal_cells;
+  channel::CellIndex eve_cell{0};
+
+  [[nodiscard]] std::size_t n_terminals() const {
+    return terminal_cells.size();
+  }
+
+  /// True when all cells are distinct and Eve's cell is unused by
+  /// terminals.
+  [[nodiscard]] bool valid() const;
+};
+
+/// Build the testbed channel with every node placed at its cell centre.
+[[nodiscard]] channel::TestbedChannel build_channel(
+    const Placement& placement,
+    channel::TestbedChannel::Config config = {});
+
+}  // namespace thinair::testbed

@@ -1,0 +1,78 @@
+#include "testbed/placements.h"
+
+#include <stdexcept>
+
+namespace thinair::testbed {
+
+namespace {
+
+std::size_t binomial(std::size_t n, std::size_t k) {
+  if (k > n) return 0;
+  std::size_t r = 1;
+  for (std::size_t i = 0; i < k; ++i) r = r * (n - i) / (i + 1);
+  return r;
+}
+
+}  // namespace
+
+std::size_t placement_count(std::size_t n_terminals) {
+  if (n_terminals == 0 || n_terminals > 8)
+    throw std::invalid_argument("placement_count: n outside [1, 8]");
+  return channel::CellGrid::kCells * binomial(8, n_terminals);
+}
+
+std::vector<Placement> enumerate_placements(std::size_t n_terminals) {
+  if (n_terminals == 0 || n_terminals > 8)
+    throw std::invalid_argument("enumerate_placements: n outside [1, 8]");
+
+  std::vector<Placement> out;
+  out.reserve(placement_count(n_terminals));
+
+  for (std::size_t eve = 0; eve < channel::CellGrid::kCells; ++eve) {
+    std::vector<std::size_t> free_cells;
+    for (std::size_t c = 0; c < channel::CellGrid::kCells; ++c)
+      if (c != eve) free_cells.push_back(c);
+
+    // Lexicographic k-combinations of the 8 free cells.
+    std::vector<std::size_t> pick(n_terminals);
+    for (std::size_t i = 0; i < n_terminals; ++i) pick[i] = i;
+    for (;;) {
+      Placement p;
+      p.eve_cell = channel::CellIndex{eve};
+      for (std::size_t i : pick)
+        p.terminal_cells.push_back(channel::CellIndex{free_cells[i]});
+      out.push_back(std::move(p));
+
+      // Advance.
+      std::size_t i = n_terminals;
+      while (i > 0) {
+        --i;
+        if (pick[i] != i + free_cells.size() - n_terminals) break;
+        if (i == 0) goto next_eve;
+      }
+      if (pick[i] == i + free_cells.size() - n_terminals) goto next_eve;
+      ++pick[i];
+      for (std::size_t j = i + 1; j < n_terminals; ++j)
+        pick[j] = pick[j - 1] + 1;
+    }
+  next_eve:;
+  }
+  return out;
+}
+
+std::vector<Placement> sample_placements(std::size_t n_terminals,
+                                         std::size_t max_count) {
+  std::vector<Placement> all = enumerate_placements(n_terminals);
+  if (max_count == 0 || all.size() <= max_count) return all;
+  std::vector<Placement> out;
+  out.reserve(max_count);
+  // Even stride keeps the sample spread across Eve cells (enumeration is
+  // Eve-cell major).
+  const double step =
+      static_cast<double>(all.size()) / static_cast<double>(max_count);
+  for (std::size_t i = 0; i < max_count; ++i)
+    out.push_back(all[static_cast<std::size_t>(static_cast<double>(i) * step)]);
+  return out;
+}
+
+}  // namespace thinair::testbed

@@ -1,0 +1,32 @@
+#pragma once
+// Node-placement enumeration (Sec. 4: "We run one such experiment for each
+// possible positioning of n terminals and Eve").
+//
+// A positioning = an Eve cell plus a set of n terminal cells among the
+// remaining 8 (terminal identities are interchangeable, so order within
+// the set does not matter). That gives 9 * C(8, n) placements per n —
+// 504 for n = 3 down to 9 for n = 8. For quick runs a deterministic
+// subsample is available.
+
+#include <vector>
+
+#include "channel/rng.h"
+#include "testbed/layout.h"
+
+namespace thinair::testbed {
+
+/// Number of placements for n terminals: 9 * C(8, n). Requires n <= 8.
+[[nodiscard]] std::size_t placement_count(std::size_t n_terminals);
+
+/// All placements for n terminals, deterministic order (Eve cell major,
+/// then lexicographic terminal-cell sets).
+[[nodiscard]] std::vector<Placement> enumerate_placements(
+    std::size_t n_terminals);
+
+/// At most `max_count` placements: the full enumeration when it fits,
+/// otherwise an evenly strided subsample (deterministic, covers all Eve
+/// cells roughly uniformly).
+[[nodiscard]] std::vector<Placement> sample_placements(std::size_t n_terminals,
+                                                       std::size_t max_count);
+
+}  // namespace thinair::testbed

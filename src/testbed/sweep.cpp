@@ -1,0 +1,41 @@
+#include "testbed/sweep.h"
+
+#include <stdexcept>
+
+namespace thinair::testbed {
+
+SweepResult run_sweep(const SweepConfig& config) {
+  if (config.n_min < 2 || config.n_max > 8 || config.n_min > config.n_max)
+    throw std::invalid_argument("run_sweep: n range outside [2, 8]");
+
+  SweepResult result;
+  channel::Rng seeder(config.seed);
+
+  for (std::size_t n = config.n_min; n <= config.n_max; ++n) {
+    SweepRow row;
+    row.n = n;
+    const std::vector<Placement> placements =
+        sample_placements(n, config.max_placements);
+
+    for (const Placement& p : placements) {
+      ExperimentConfig exp;
+      exp.placement = p;
+      exp.session = config.session;
+      exp.channel = config.channel;
+      exp.mac = config.mac;
+      exp.seed = seeder.next_u64();
+
+      const ExperimentResult r = config.unicast_baseline
+                                     ? run_unicast_experiment(exp)
+                                     : run_experiment(exp);
+      row.reliability.add(r.reliability());
+      row.efficiency.add(r.efficiency());
+      row.secret_rate_bps.add(r.secret_rate_bps());
+      ++row.experiments;
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+}  // namespace thinair::testbed

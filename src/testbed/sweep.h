@@ -1,0 +1,49 @@
+#pragma once
+// Placement sweeps: the pipeline behind Figure 2 and the Sec. 4 headline
+// numbers. For each group size n, run one experiment per node placement
+// and aggregate reliability and efficiency.
+
+#include <vector>
+
+#include "testbed/experiment.h"
+#include "testbed/placements.h"
+#include "util/stats.h"
+
+namespace thinair::testbed {
+
+struct SweepConfig {
+  std::size_t n_min = 3;
+  std::size_t n_max = 8;
+  /// Cap on placements per n (0 = every possible positioning).
+  std::size_t max_placements = 0;
+  core::SessionConfig session;
+  channel::TestbedChannel::Config channel;
+  net::MacParams mac;
+  std::uint64_t seed = 1;
+  bool unicast_baseline = false;  // run the Figure-1 baseline instead
+};
+
+/// Aggregates for one group size: the four Figure-2 series plus
+/// efficiency.
+struct SweepRow {
+  std::size_t n = 0;
+  std::size_t experiments = 0;
+  util::Summary reliability;
+  util::Summary efficiency;
+  util::Summary secret_rate_bps;
+
+  [[nodiscard]] double rel_min() const { return reliability.min(); }
+  [[nodiscard]] double rel_avg() const { return reliability.mean(); }
+  /// Reliability achieved during 95% of the experiments (Fig. 2 triangles).
+  [[nodiscard]] double rel_p95() const { return reliability.exceeded_by(0.95); }
+  /// Reliability achieved during 50% of the experiments (Fig. 2 squares).
+  [[nodiscard]] double rel_p50() const { return reliability.exceeded_by(0.50); }
+};
+
+struct SweepResult {
+  std::vector<SweepRow> rows;  // one per n, ascending
+};
+
+[[nodiscard]] SweepResult run_sweep(const SweepConfig& config);
+
+}  // namespace thinair::testbed

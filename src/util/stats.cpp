@@ -1,0 +1,72 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace thinair::util {
+
+void Summary::add(double v) { samples_.push_back(v); }
+
+void Summary::add_all(const std::vector<double>& vs) {
+  samples_.insert(samples_.end(), vs.begin(), vs.end());
+}
+
+std::vector<double> Summary::sorted() const {
+  std::vector<double> s = samples_;
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+double Summary::min() const {
+  if (empty()) throw std::logic_error("Summary::min: no samples");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  if (empty()) throw std::logic_error("Summary::max: no samples");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::mean() const {
+  if (empty()) throw std::logic_error("Summary::mean: no samples");
+  double sum = 0.0;
+  for (double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::quantile(double q) const {
+  if (empty()) throw std::logic_error("Summary::quantile: no samples");
+  if (q < 0.0 || q > 1.0)
+    throw std::invalid_argument("Summary::quantile: q outside [0, 1]");
+  const std::vector<double> s = sorted();
+  if (s.size() == 1) return s[0];
+  const double pos = q * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+double Summary::exceeded_by(double fraction) const {
+  if (empty()) throw std::logic_error("Summary::exceeded_by: no samples");
+  if (fraction <= 0.0 || fraction > 1.0)
+    throw std::invalid_argument("Summary::exceeded_by: fraction outside (0,1]");
+  const std::vector<double> s = sorted();
+  // We need the largest v with |{x : x >= v}| >= fraction * count. Taking
+  // v = s[k] keeps count - k samples >= v, so the largest feasible k is
+  // count - ceil(fraction * count).
+  const auto need = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(s.size()) - 1e-9));
+  return s[s.size() - need];
+}
+
+}  // namespace thinair::util

@@ -1,0 +1,45 @@
+#pragma once
+// Descriptive statistics for experiment sweeps.
+//
+// Figure 2 reports, per group size n, the minimum / average / 95th- and
+// 50th-percentile reliability across experiments. The paper's "reliability
+// achieved during 95% of the experiments" is the value exceeded (or met)
+// by 95% of the samples — i.e. the 5th percentile from below — so the
+// summary exposes `exceeded_by(fraction)` to avoid that ambiguity.
+
+#include <cstddef>
+#include <vector>
+
+namespace thinair::util {
+
+/// Accumulates samples; queries are O(n log n) on demand.
+class Summary {
+ public:
+  void add(double v);
+  void add_all(const std::vector<double>& vs);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;  // sample standard deviation
+
+  /// q-th quantile, q in [0, 1], linear interpolation between order
+  /// statistics.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Largest value v such that at least `fraction` of the samples are
+  /// >= v (the paper's "minimum achieved during <fraction> of the
+  /// experiments"). fraction in (0, 1].
+  [[nodiscard]] double exceeded_by(double fraction) const;
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  [[nodiscard]] std::vector<double> sorted() const;
+  std::vector<double> samples_;
+};
+
+}  // namespace thinair::util

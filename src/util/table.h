@@ -1,0 +1,32 @@
+#pragma once
+// Minimal fixed-width console table printer for the bench binaries, so
+// every regenerated figure/table prints aligned, copy-paste-friendly rows.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace thinair::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; the cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column padding, a header underline and `indent` leading
+  /// spaces per line.
+  void print(std::ostream& os, std::size_t indent = 2) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("0.038", "1.00", ...).
+[[nodiscard]] std::string fmt(double value, int precision = 3);
+
+}  // namespace thinair::util

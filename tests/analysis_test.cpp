@@ -1,0 +1,159 @@
+// Eavesdropper view, leakage metric and the Figure-1 closed forms.
+#include <gtest/gtest.h>
+
+#include "analysis/efficiency.h"
+#include "analysis/eve_view.h"
+#include "analysis/leakage.h"
+
+namespace thinair::analysis {
+namespace {
+
+TEST(EveView, StartsIgnorant) {
+  const EveView eve(10);
+  EXPECT_EQ(eve.knowledge_rank(), 0u);
+  EXPECT_EQ(eve.universe(), 10u);
+}
+
+TEST(EveView, ObservationsAccumulate) {
+  EveView eve(5);
+  eve.observe_x(0);
+  eve.observe_x({1, 1, 2});  // duplicates do not double-count
+  EXPECT_EQ(eve.knowledge_rank(), 3u);
+}
+
+TEST(EveView, EquivocationCountsUnknownDimensions) {
+  EveView eve(4);
+  eve.observe_x(0);
+  gf::Matrix secret(2, 4);
+  secret.set(0, 0, gf::kOne);  // known
+  secret.set(1, 2, gf::kOne);  // unknown
+  EXPECT_EQ(eve.equivocation(secret), 1u);
+}
+
+TEST(EveView, CombinationObservationsLeakSpans) {
+  EveView eve(3);
+  gf::Matrix z(1, 3);
+  z.set(0, 0, gf::kOne);
+  z.set(0, 1, gf::kOne);
+  eve.observe_combinations(z);
+  // x0 + x1 is known; x0 alone is not.
+  gf::Matrix s1(1, 3);
+  s1.set(0, 0, gf::kOne);
+  s1.set(0, 1, gf::kOne);
+  EXPECT_EQ(eve.equivocation(s1), 0u);
+  gf::Matrix s2(1, 3);
+  s2.set(0, 0, gf::kOne);
+  EXPECT_EQ(eve.equivocation(s2), 1u);
+}
+
+TEST(Leakage, ReportFields) {
+  EveView eve(4);
+  eve.observe_x(0);
+  gf::Matrix secret(2, 4);
+  secret.set(0, 0, gf::kOne);
+  secret.set(1, 3, gf::kOne);
+  const LeakageReport rep = compute_leakage(eve, secret);
+  EXPECT_EQ(rep.secret_dims, 2u);
+  EXPECT_EQ(rep.hidden_dims, 1u);
+  EXPECT_EQ(rep.leaked_dims, 1u);
+  EXPECT_DOUBLE_EQ(rep.reliability, 0.5);
+}
+
+TEST(Leakage, GuessProbabilities) {
+  LeakageReport rep;
+  rep.secret_dims = 2;
+  rep.hidden_dims = 2;
+  rep.reliability = 1.0;
+  EXPECT_DOUBLE_EQ(rep.per_bit_guess_probability(), 0.5);
+  // The paper's n=6 example: r = 0.2 -> per-bit 2^-0.2 ~ 0.87, and an
+  // 800-bit packet is guessed with probability ~ 0.
+  rep.reliability = 0.2;
+  EXPECT_NEAR(rep.per_bit_guess_probability(), 0.87, 0.01);
+  EXPECT_LT(rep.full_guess_probability(800), 1e-40);
+}
+
+TEST(Leakage, EmptySecretIsVacuouslyReliable) {
+  const EveView eve(4);
+  const LeakageReport rep = compute_leakage(eve, gf::Matrix(0, 4));
+  EXPECT_DOUBLE_EQ(rep.reliability, 1.0);
+  EXPECT_EQ(rep.secret_dims, 0u);
+}
+
+TEST(Efficiency, SecretAndPoolFractions) {
+  EXPECT_DOUBLE_EQ(expected_secret_fraction(0.5), 0.25);
+  EXPECT_DOUBLE_EQ(expected_pool_fraction(0.5, 2), 0.25);
+  EXPECT_NEAR(expected_pool_fraction(0.5, 4), 0.5 * (1 - 0.125), 1e-12);
+}
+
+TEST(Efficiency, GroupClosedFormKnownValues) {
+  // n = 2 reduces to p(1-p): maximum 0.25 at p = 0.5 (the top of the
+  // paper's Figure 1 axis).
+  EXPECT_DOUBLE_EQ(group_efficiency(0.5, 2), 0.25);
+  // n -> infinity: p(1-p)/(1+p^2) = 0.2 at p = 0.5.
+  EXPECT_DOUBLE_EQ(group_efficiency_inf(0.5), 0.2);
+}
+
+TEST(Efficiency, GroupDecreasesWithNButStaysPositive) {
+  double prev = 1.0;
+  for (std::size_t n : {2u, 3u, 6u, 10u, 50u}) {
+    const double e = group_efficiency(0.5, n);
+    EXPECT_LT(e, prev + 1e-12);
+    EXPECT_GT(e, 0.19);
+    prev = e;
+  }
+  EXPECT_NEAR(group_efficiency(0.5, 200), group_efficiency_inf(0.5), 1e-9);
+}
+
+TEST(Efficiency, UnicastCollapsesWithN) {
+  EXPECT_DOUBLE_EQ(unicast_efficiency(0.5, 2), 0.25);
+  EXPECT_NEAR(unicast_efficiency(0.5, 3), 0.2, 1e-12);
+  EXPECT_NEAR(unicast_efficiency(0.5, 10), 0.25 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(unicast_efficiency_inf(0.5), 0.0);
+  // Strictly decreasing in n.
+  for (std::size_t n = 3; n < 12; ++n)
+    EXPECT_LT(unicast_efficiency(0.5, n), unicast_efficiency(0.5, n - 1));
+}
+
+TEST(Efficiency, GroupBeatsUnicastForLargeGroups) {
+  for (double p : {0.2, 0.5, 0.8})
+    for (std::size_t n : {3u, 6u, 10u})
+      EXPECT_GT(group_efficiency(p, n) + 1e-12, unicast_efficiency(p, n));
+}
+
+TEST(Efficiency, EdgesAreZero) {
+  EXPECT_DOUBLE_EQ(group_efficiency(0.0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(group_efficiency(1.0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(unicast_efficiency(0.0, 5), 0.0);
+}
+
+TEST(Efficiency, InputValidation) {
+  EXPECT_THROW((void)group_efficiency(-0.1, 3), std::invalid_argument);
+  EXPECT_THROW((void)group_efficiency(0.5, 1), std::invalid_argument);
+  EXPECT_THROW((void)unicast_efficiency(1.5, 3), std::invalid_argument);
+}
+
+// Property: the group curve is concave-ish with a single interior peak —
+// verify it is unimodal on a grid for several n.
+class UnimodalSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(UnimodalSweep, GroupEfficiencyUnimodalInP) {
+  const std::size_t n = GetParam();
+  int sign_changes = 0;
+  double prev = group_efficiency(0.02, n);
+  bool rising = true;
+  for (double p = 0.04; p < 1.0; p += 0.02) {
+    const double e = group_efficiency(p, n);
+    const bool now_rising = e >= prev;
+    if (rising && !now_rising) ++sign_changes;
+    if (!rising && now_rising) sign_changes += 100;  // must never re-rise
+    rising = now_rising;
+    prev = e;
+  }
+  EXPECT_EQ(sign_changes, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ns, UnimodalSweep,
+                         ::testing::Values(2u, 3u, 6u, 10u, 30u));
+
+}  // namespace
+}  // namespace thinair::analysis

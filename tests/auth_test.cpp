@@ -1,0 +1,147 @@
+// One-time MACs and the authenticator lifecycle (active-adversary
+// extension).
+#include <gtest/gtest.h>
+
+#include "auth/authenticator.h"
+#include "auth/onetime_mac.h"
+#include "channel/rng.h"
+
+namespace thinair::auth {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::size_t n, std::uint64_t seed) {
+  channel::Rng rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = rng.next_byte();
+  return out;
+}
+
+MacKey key(std::uint64_t seed) {
+  const auto b = bytes(MacKey::kBytes, seed);
+  return MacKey::from_bytes(b);
+}
+
+TEST(OneTimeMac, VerifyAcceptsGenuineTag) {
+  const auto msg = bytes(100, 1);
+  const MacKey k = key(2);
+  EXPECT_TRUE(verify_mac(k, msg, compute_mac(k, msg)));
+}
+
+TEST(OneTimeMac, RejectsTamperedMessage) {
+  auto msg = bytes(64, 3);
+  const MacKey k = key(4);
+  const MacTag tag = compute_mac(k, msg);
+  for (std::size_t i : {std::size_t{0}, msg.size() / 2, msg.size() - 1}) {
+    auto tampered = msg;
+    tampered[i] ^= 0x01;
+    EXPECT_FALSE(verify_mac(k, tampered, tag));
+  }
+}
+
+TEST(OneTimeMac, RejectsWrongKey) {
+  const auto msg = bytes(32, 5);
+  const MacTag tag = compute_mac(key(6), msg);
+  EXPECT_FALSE(verify_mac(key(7), msg, tag));
+}
+
+TEST(OneTimeMac, LengthExtensionChangesTag) {
+  const auto msg = bytes(24, 8);
+  auto extended = msg;
+  extended.push_back(0x00);  // appending even a zero byte must change it
+  const MacKey k = key(9);
+  EXPECT_NE(compute_mac(k, msg).value, compute_mac(k, extended).value);
+}
+
+TEST(OneTimeMac, EmptyMessageIsWellDefined) {
+  const MacKey k = key(10);
+  const MacTag tag = compute_mac(k, {});
+  EXPECT_TRUE(verify_mac(k, {}, tag));
+  EXPECT_FALSE(verify_mac(k, bytes(1, 11), tag));
+}
+
+TEST(OneTimeMac, KeyFromBytesNeeds16) {
+  const auto b = bytes(10, 12);
+  EXPECT_THROW((void)MacKey::from_bytes(b), std::invalid_argument);
+}
+
+TEST(OneTimeMac, TagDistributionLooksUniform) {
+  // Coarse sanity: across many keys the tag of a fixed message should not
+  // collide or cluster in the low bits.
+  const auto msg = bytes(40, 13);
+  std::set<std::uint64_t> tags;
+  int low_zero = 0;
+  for (std::uint64_t s = 0; s < 200; ++s) {
+    const MacTag t = compute_mac(key(1000 + s), msg);
+    tags.insert(t.value);
+    low_zero += (t.value & 1) == 0;
+  }
+  EXPECT_EQ(tags.size(), 200u);
+  EXPECT_GT(low_zero, 60);
+  EXPECT_LT(low_zero, 140);
+}
+
+TEST(Authenticator, SignVerifyRoundTrip) {
+  Authenticator auth(bytes(64, 20));
+  const auto msg = auth.sign({1, 2, 3});
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_TRUE(auth.verify(*msg));
+}
+
+TEST(Authenticator, KeysAreOneTimeNoReplay) {
+  Authenticator auth(bytes(64, 21));
+  const auto msg = auth.sign({9, 9});
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_TRUE(auth.verify(*msg));
+  EXPECT_FALSE(auth.verify(*msg));  // replay must fail
+}
+
+TEST(Authenticator, OutOfOrderRejected) {
+  Authenticator auth(bytes(64, 22));
+  const auto m0 = auth.sign({0});
+  const auto m1 = auth.sign({1});
+  ASSERT_TRUE(m0 && m1);
+  EXPECT_FALSE(auth.verify(*m1));  // m0 must come first
+  EXPECT_TRUE(auth.verify(*m0));
+  EXPECT_TRUE(auth.verify(*m1));
+}
+
+TEST(Authenticator, ForgeryRejected) {
+  Authenticator auth(bytes(64, 23));
+  auto msg = auth.sign({5, 5, 5});
+  ASSERT_TRUE(msg.has_value());
+  msg->body[0] ^= 0xFF;
+  EXPECT_FALSE(auth.verify(*msg));
+}
+
+TEST(Authenticator, ExhaustionAndRefill) {
+  Authenticator auth(bytes(MacKey::kBytes, 24));  // exactly one key
+  EXPECT_TRUE(auth.sign({1}).has_value());
+  EXPECT_FALSE(auth.sign({2}).has_value());  // pool exhausted
+  auth.refill(bytes(MacKey::kBytes * 2, 25));
+  EXPECT_TRUE(auth.sign({3}).has_value());
+  EXPECT_TRUE(auth.sign({4}).has_value());
+  EXPECT_FALSE(auth.sign({5}).has_value());
+}
+
+TEST(Authenticator, BootstrapThenProtocolRefillLifecycle) {
+  // The paper's model: small bootstrap secret, then the protocol's output
+  // keeps the authenticator alive indefinitely.
+  Authenticator alice(bytes(MacKey::kBytes, 26));
+  Authenticator bob(bytes(MacKey::kBytes, 26));  // same bootstrap
+
+  const auto m = alice.sign({42});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(bob.verify(*m));
+
+  const auto fresh = bytes(160, 27);  // 10 new keys from a protocol run
+  alice.refill(fresh);
+  bob.refill(fresh);
+  for (int i = 0; i < 10; ++i) {
+    const auto mi = alice.sign({static_cast<std::uint8_t>(i)});
+    ASSERT_TRUE(mi.has_value());
+    EXPECT_TRUE(bob.verify(*mi));
+  }
+}
+
+}  // namespace
+}  // namespace thinair::auth

@@ -1,0 +1,170 @@
+// Sec. 3.3 estimators: oracle, counts, fractions, slots and geometry.
+#include "core/estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace thinair::core {
+namespace {
+
+packet::NodeId T(std::uint16_t v) { return packet::NodeId{v}; }
+
+ReceptionTable table3() {
+  ReceptionTable t(T(0), {T(1), T(2), T(3)}, 10);
+  t.set_received(T(1), {0, 1, 2, 3, 4, 5});
+  t.set_received(T(2), {0, 2, 4, 6, 8});
+  t.set_received(T(3), {1, 3, 5, 7, 9});
+  return t;
+}
+
+net::NodeSet exempt(std::initializer_list<std::uint16_t> ids) {
+  net::NodeSet s;
+  for (auto v : ids) s.insert(T(v));
+  return s;
+}
+
+TEST(OracleEstimator, CountsExactMisses) {
+  const OracleEstimator est({0, 1, 2}, 10);  // Eve got x0..x2
+  EXPECT_EQ(est.missed_within({0, 1, 2}, {}), 0u);
+  EXPECT_EQ(est.missed_within({3, 4, 5}, {}), 3u);
+  EXPECT_EQ(est.missed_within({2, 3}, {}), 1u);
+}
+
+TEST(OracleEstimator, RejectsOutOfUniverse) {
+  EXPECT_THROW(OracleEstimator({12}, 10), std::out_of_range);
+}
+
+TEST(FractionEstimator, FlooredFraction) {
+  const FractionEstimator est(0.3);
+  EXPECT_EQ(est.missed_within({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, {}), 3u);
+  EXPECT_EQ(est.missed_within({0, 1, 2}, {}), 0u);  // floor(0.9)
+  EXPECT_THROW(FractionEstimator(1.5), std::invalid_argument);
+}
+
+TEST(KSubsetEstimator, LeaveOneOutTakesWorstSingleHypothesis) {
+  const ReceptionTable t = table3();
+  const KSubsetEstimator est(t, 1);
+  // Set = R1 = {0..5}. Hypotheses (exempting Alice and T1): T2 missed
+  // {1,3,5} of it -> 3; T3 missed {0,2,4} -> 3. Bound = 3.
+  EXPECT_EQ(est.missed_within(t.received(T(1)), exempt({0, 1})), 3u);
+}
+
+TEST(KSubsetEstimator, TwoAntennaUnionIsStricter) {
+  const ReceptionTable t = table3();
+  const KSubsetEstimator est1(t, 1);
+  const KSubsetEstimator est2(t, 2);
+  // With T2 and T3 pooled, their union covers all of R1: bound 0.
+  EXPECT_EQ(est2.missed_within(t.received(T(1)), exempt({0, 1})), 0u);
+  EXPECT_LE(est2.missed_within(t.received(T(1)), exempt({0, 1})),
+            est1.missed_within(t.received(T(1)), exempt({0, 1})));
+}
+
+TEST(KSubsetEstimator, NoCandidatesMeansZero) {
+  const ReceptionTable t = table3();
+  const KSubsetEstimator est(t, 1);
+  EXPECT_EQ(est.missed_within({6, 7}, exempt({0, 1, 2, 3})), 0u);
+}
+
+TEST(KSubsetEstimator, KZeroThrows) {
+  const ReceptionTable t = table3();
+  EXPECT_THROW(KSubsetEstimator(t, 0), std::invalid_argument);
+}
+
+TEST(LooFractionEstimator, UsesWorstMissRate) {
+  const ReceptionTable t = table3();
+  const LooFractionEstimator est(t, 1.0);
+  // Miss rates: T1 misses 4/10, T2 and T3 miss 5/10; min = 0.4.
+  EXPECT_DOUBLE_EQ(est.delta(), 0.4);
+  EXPECT_EQ(est.missed_within({0, 1, 2, 3, 4}, {}), 2u);  // floor(2.0)
+}
+
+TEST(LooFractionEstimator, SafetyDerates) {
+  const ReceptionTable t = table3();
+  const LooFractionEstimator est(t, 0.5);
+  EXPECT_DOUBLE_EQ(est.delta(), 0.2);
+  EXPECT_THROW(LooFractionEstimator(t, 0.0), std::invalid_argument);
+}
+
+TEST(SlotFractionEstimator, PerSlotBounds) {
+  // Universe 10: slots 0 = {0..4}, 1 = {5..9}.
+  ReceptionTable t(T(0), {T(1), T(2)}, 10);
+  t.set_received(T(1), {0, 1, 2, 3, 4});        // missed nothing in slot 0
+  t.set_received(T(2), {0, 1, 2, 3, 4, 5, 6});  // missed 3/5 in slot 1
+  const std::vector<std::size_t> slot_of{0, 0, 0, 0, 0, 1, 1, 1, 1, 1};
+  const SlotFractionEstimator est(t, slot_of, 1.0);
+  // Slot 0: min miss = 0 (T1 got all). Slot 1: T1 missed 5/5, T2 3/5 ->
+  // min 0.6.
+  EXPECT_EQ(est.missed_within({0, 1, 2, 3, 4}, {}), 0u);
+  EXPECT_EQ(est.missed_within({5, 6, 7, 8, 9}, {}), 3u);
+  EXPECT_EQ(est.missed_within({0, 5}, {}), 0u);  // floor(0.6)
+}
+
+TEST(SlotFractionEstimator, EmptySlotMapDegeneratesToGlobal) {
+  const ReceptionTable t = table3();
+  const SlotFractionEstimator est(t, {}, 1.0);
+  // One global slot: min miss rate = 0.4 (T1).
+  EXPECT_EQ(est.missed_within({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, {}), 4u);
+}
+
+TEST(GeometryEstimator, SingleFreeCellGivesExactPattern) {
+  // n=8-style: occupied cells 0..7, free cell 8 (row 2, col 2). Eve's
+  // hypothesis is unique. Universe 9, one packet per slot (slot i = i).
+  ReceptionTable t(T(0), {T(1)}, 9);
+  // Receiver in cell 1 (row 0, col 1): jammed in slots with row 0 (0,1,2)
+  // or col 1 (1,4,7) -> jammed {0,1,2,4,7}. Say it missed exactly those.
+  t.set_received(T(1), {3, 5, 6, 8});
+  std::vector<std::size_t> slot_of{0, 1, 2, 3, 4, 5, 6, 7, 8};
+  const GeometryEstimator est(t, slot_of, {0, 1, 2, 3, 4, 5, 6, 7}, {1},
+                              1.0);
+  EXPECT_EQ(est.candidate_cells(), (std::vector<std::size_t>{8}));
+  EXPECT_DOUBLE_EQ(est.jam_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(est.clear_rate(), 0.0);
+  // Cell 8 (row 2, col 2) is jammed in slots {2,5,6,7,8}: those packets
+  // count with jam_rate 1, others with clear_rate 0.
+  EXPECT_EQ(est.missed_within({2, 5, 6, 7, 8}, {}), 5u);
+  EXPECT_EQ(est.missed_within({0, 1, 3, 4}, {}), 0u);
+}
+
+TEST(GeometryEstimator, MoreFreeCellsMoreConservative) {
+  ReceptionTable t(T(0), {T(1)}, 9);
+  t.set_received(T(1), {3, 5, 6, 8});
+  std::vector<std::size_t> slot_of{0, 1, 2, 3, 4, 5, 6, 7, 8};
+  const GeometryEstimator tight(t, slot_of, {0, 1, 2, 3, 4, 5, 6, 7}, {1},
+                                1.0);
+  const GeometryEstimator loose(t, slot_of, {0, 1}, {1}, 1.0);
+  const std::vector<std::uint32_t> all{0, 1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_LE(loose.missed_within(all, {}), tight.missed_within(all, {}));
+}
+
+TEST(GeometryEstimator, NoFreeCellThrows) {
+  ReceptionTable t(T(0), {T(1)}, 4);
+  t.set_received(T(1), {0});
+  EXPECT_THROW(GeometryEstimator(t, {0, 0, 0, 0},
+                                 {0, 1, 2, 3, 4, 5, 6, 7, 8}, {1}, 1.0),
+               std::invalid_argument);
+}
+
+TEST(BuildEstimator, DispatchesAllKinds) {
+  const ReceptionTable t = table3();
+  for (EstimatorKind kind :
+       {EstimatorKind::kOracle, EstimatorKind::kLeaveOneOut,
+        EstimatorKind::kKSubset, EstimatorKind::kFraction,
+        EstimatorKind::kLooFraction, EstimatorKind::kSlotFraction}) {
+    EstimatorSpec spec;
+    spec.kind = kind;
+    const auto est = build_estimator(spec, t, {0, 1}, {});
+    ASSERT_NE(est, nullptr);
+    EXPECT_FALSE(est->name().empty());
+  }
+}
+
+TEST(BuildEstimator, GeometryNeedsCells) {
+  const ReceptionTable t = table3();
+  EstimatorSpec spec;
+  spec.kind = EstimatorKind::kGeometry;
+  spec.occupied_cells = {0, 1, 2, 3};
+  const auto est = build_estimator(spec, t, {}, {}, {1, 2, 3});
+  EXPECT_EQ(est->name(), "geometry");
+}
+
+}  // namespace
+}  // namespace thinair::core

@@ -1,0 +1,163 @@
+// GF(2^8) field axioms and table consistency.
+#include "gf/gf256.h"
+
+#include <gtest/gtest.h>
+
+namespace thinair::gf {
+namespace {
+
+TEST(GF256, AdditionIsXor) {
+  EXPECT_EQ(GF256(0x57) + GF256(0x83), GF256(0x57 ^ 0x83));
+  EXPECT_EQ(GF256(0xFF) + GF256(0xFF), kZero);
+}
+
+TEST(GF256, AdditiveIdentityAndSelfInverse) {
+  for (unsigned v = 0; v < 256; ++v) {
+    const GF256 a(static_cast<std::uint8_t>(v));
+    EXPECT_EQ(a + kZero, a);
+    EXPECT_EQ(a + a, kZero);
+    EXPECT_EQ(a - a, kZero);
+  }
+}
+
+TEST(GF256, MultiplicativeIdentity) {
+  for (unsigned v = 0; v < 256; ++v) {
+    const GF256 a(static_cast<std::uint8_t>(v));
+    EXPECT_EQ(a * kOne, a);
+    EXPECT_EQ(kOne * a, a);
+  }
+}
+
+TEST(GF256, MultiplicationByZero) {
+  for (unsigned v = 0; v < 256; ++v) {
+    const GF256 a(static_cast<std::uint8_t>(v));
+    EXPECT_EQ(a * kZero, kZero);
+    EXPECT_EQ(kZero * a, kZero);
+  }
+}
+
+TEST(GF256, KnownProducts) {
+  // Reference values for the 0x11D polynomial.
+  EXPECT_EQ(GF256(0x02) * GF256(0x02), GF256(0x04));
+  EXPECT_EQ(GF256(0x80) * GF256(0x02), GF256(0x1D));  // wraps the modulus
+  EXPECT_EQ(GF256(0x02).pow(8), GF256(0x1D));
+}
+
+TEST(GF256, MultiplicationCommutes) {
+  for (unsigned a = 0; a < 256; a += 7)
+    for (unsigned b = 0; b < 256; b += 5)
+      EXPECT_EQ(GF256(static_cast<std::uint8_t>(a)) *
+                    GF256(static_cast<std::uint8_t>(b)),
+                GF256(static_cast<std::uint8_t>(b)) *
+                    GF256(static_cast<std::uint8_t>(a)));
+}
+
+TEST(GF256, MultiplicationAssociates) {
+  const GF256 a(0x13), b(0x9E), c(0x47);
+  EXPECT_EQ((a * b) * c, a * (b * c));
+}
+
+TEST(GF256, DistributesOverAddition) {
+  for (unsigned a = 1; a < 256; a += 11)
+    for (unsigned b = 0; b < 256; b += 13) {
+      const GF256 fa(static_cast<std::uint8_t>(a));
+      const GF256 fb(static_cast<std::uint8_t>(b));
+      const GF256 fc(0xA5);
+      EXPECT_EQ(fa * (fb + fc), fa * fb + fa * fc);
+    }
+}
+
+TEST(GF256, EveryNonzeroElementHasInverse) {
+  for (unsigned v = 1; v < 256; ++v) {
+    const GF256 a(static_cast<std::uint8_t>(v));
+    EXPECT_EQ(a * a.inv(), kOne) << "v=" << v;
+    EXPECT_EQ(a / a, kOne);
+  }
+}
+
+TEST(GF256, AlphaIsPrimitive) {
+  // alpha = 0x02 must generate all 255 nonzero elements.
+  std::array<bool, 256> seen{};
+  GF256 p = kOne;
+  for (unsigned i = 0; i < 255; ++i) {
+    EXPECT_FALSE(seen[p.value()]) << "cycle shorter than 255 at " << i;
+    seen[p.value()] = true;
+    p = p * GF256(0x02);
+  }
+  EXPECT_EQ(p, kOne);  // full cycle
+}
+
+TEST(GF256, PowMatchesRepeatedMultiplication) {
+  const GF256 a(0x35);
+  GF256 acc = kOne;
+  for (unsigned e = 0; e < 300; ++e) {
+    EXPECT_EQ(a.pow(e), acc) << "e=" << e;
+    acc = acc * a;
+  }
+}
+
+TEST(GF256, PowOfZero) {
+  EXPECT_EQ(kZero.pow(0), kOne);  // 0^0 == 1 by convention
+  EXPECT_EQ(kZero.pow(5), kZero);
+}
+
+TEST(GF256, AlphaPowWrapsAt255) {
+  EXPECT_EQ(GF256::alpha_pow(0), kOne);
+  EXPECT_EQ(GF256::alpha_pow(255), kOne);
+  EXPECT_EQ(GF256::alpha_pow(256), GF256(0x02));
+}
+
+TEST(GF256, AxpyAccumulates) {
+  std::vector<std::uint8_t> x{1, 2, 3, 4};
+  std::vector<std::uint8_t> y{10, 20, 30, 40};
+  const std::vector<std::uint8_t> y0 = y;
+  axpy(GF256(0x03), x.data(), y.data(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_EQ(GF256(y[i]), GF256(y0[i]) + GF256(0x03) * GF256(x[i]));
+}
+
+TEST(GF256, AxpyWithZeroCoefficientIsNoop) {
+  std::vector<std::uint8_t> x{9, 9, 9};
+  std::vector<std::uint8_t> y{1, 2, 3};
+  axpy(kZero, x.data(), y.data(), x.size());
+  EXPECT_EQ(y, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(GF256, AxpyWithOneIsXor) {
+  std::vector<std::uint8_t> x{0xF0, 0x0F};
+  std::vector<std::uint8_t> y{0xFF, 0xFF};
+  axpy(kOne, x.data(), y.data(), x.size());
+  EXPECT_EQ(y, (std::vector<std::uint8_t>{0x0F, 0xF0}));
+}
+
+TEST(GF256, ScaleMatchesElementwiseMul) {
+  std::vector<std::uint8_t> y{1, 2, 3, 0, 255};
+  const std::vector<std::uint8_t> y0 = y;
+  scale(GF256(0x1D), y.data(), y.size());
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_EQ(GF256(y[i]), GF256(0x1D) * GF256(y0[i]));
+}
+
+TEST(GF256, ScaleByZeroClears) {
+  std::vector<std::uint8_t> y{1, 2, 3};
+  scale(kZero, y.data(), y.size());
+  EXPECT_EQ(y, (std::vector<std::uint8_t>{0, 0, 0}));
+}
+
+// Property sweep: division inverts multiplication for all pairs.
+class GF256DivisionSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GF256DivisionSweep, DivisionInvertsMultiplication) {
+  const GF256 b(static_cast<std::uint8_t>(GetParam()));
+  for (unsigned a = 0; a < 256; ++a) {
+    const GF256 fa(static_cast<std::uint8_t>(a));
+    EXPECT_EQ((fa * b) / b, fa);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNonzeroDivisors, GF256DivisionSweep,
+                         ::testing::Values(1u, 2u, 3u, 29u, 53u, 128u, 200u,
+                                           254u, 255u));
+
+}  // namespace
+}  // namespace thinair::gf

@@ -1,0 +1,65 @@
+// GF(2^64) field axioms for the authentication substrate.
+#include "gf/gf2_64.h"
+
+#include <gtest/gtest.h>
+
+namespace thinair::gf {
+namespace {
+
+TEST(GF64, AdditionIsXor) {
+  EXPECT_EQ(GF64(0xF0F0) + GF64(0x0FF0), GF64(0xFF00));
+  EXPECT_EQ(GF64(12345) + GF64(12345), GF64(0));
+}
+
+TEST(GF64, MultiplicativeIdentityAndZero) {
+  const GF64 a(0x123456789ABCDEF0ULL);
+  EXPECT_EQ(a * GF64(1), a);
+  EXPECT_EQ(a * GF64(0), GF64(0));
+}
+
+TEST(GF64, MultiplicationByXShifts) {
+  // Below the modulus boundary, multiplying by x doubles the value.
+  EXPECT_EQ(GF64(0x10) * GF64(2), GF64(0x20));
+  // At the boundary it wraps through the reduction polynomial 0x1B.
+  EXPECT_EQ(GF64(0x8000000000000000ULL) * GF64(2), GF64(0x1B));
+}
+
+TEST(GF64, MultiplicationCommutesAndAssociates) {
+  const GF64 a(0xDEADBEEFCAFEF00DULL), b(0x1234567811223344ULL),
+      c(0x0F0E0D0C0B0A0908ULL);
+  EXPECT_EQ(a * b, b * a);
+  EXPECT_EQ((a * b) * c, a * (b * c));
+}
+
+TEST(GF64, DistributesOverAddition) {
+  const GF64 a(0x3141592653589793ULL), b(0x2718281828459045ULL),
+      c(0x1618033988749894ULL);
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+}
+
+TEST(GF64, InverseRoundTrip) {
+  for (std::uint64_t v :
+       {1ULL, 2ULL, 0x1BULL, 0xDEADBEEFULL, ~0ULL, 0x8000000000000001ULL}) {
+    const GF64 a(v);
+    EXPECT_EQ(a * a.inv(), GF64(1)) << v;
+    EXPECT_EQ(a / a, GF64(1));
+  }
+}
+
+TEST(GF64, PowMatchesRepeatedMultiplication) {
+  const GF64 a(0xABCDEF);
+  GF64 acc(1);
+  for (unsigned e = 0; e < 20; ++e) {
+    EXPECT_EQ(a.pow(e), acc);
+    acc = acc * a;
+  }
+}
+
+TEST(GF64, FermatLittleTheorem) {
+  // a^(2^64 - 1) == 1 for a != 0.
+  const GF64 a(0x9E3779B97F4A7C15ULL);
+  EXPECT_EQ(a.pow(~std::uint64_t{0}), GF64(1));
+}
+
+}  // namespace
+}  // namespace thinair::gf

@@ -1,0 +1,108 @@
+// Artificial interference: the 9 noise patterns and the paper's 5-of-9
+// jamming guarantee.
+#include "channel/interference.h"
+
+#include <gtest/gtest.h>
+
+#include "channel/testbed_channel.h"
+
+namespace thinair::channel {
+namespace {
+
+TEST(Interference, NinePatternsCycle) {
+  const InterferenceSchedule sched{CellGrid{}};
+  for (std::size_t s = 0; s < 18; ++s) {
+    const NoisePattern p = sched.pattern(s);
+    EXPECT_EQ(p.row, (s % 9) / 3);
+    EXPECT_EQ(p.col, (s % 9) % 3);
+  }
+}
+
+TEST(Interference, JammedIffRowOrColumnMatches) {
+  const NoisePattern p{1, 2};
+  EXPECT_TRUE(InterferenceSchedule::is_jammed(CellIndex{3}, p));   // row 1
+  EXPECT_TRUE(InterferenceSchedule::is_jammed(CellIndex{2}, p));   // col 2
+  EXPECT_TRUE(InterferenceSchedule::is_jammed(CellIndex{5}, p));   // both
+  EXPECT_FALSE(InterferenceSchedule::is_jammed(CellIndex{0}, p));
+  EXPECT_FALSE(InterferenceSchedule::is_jammed(CellIndex{7}, p));
+}
+
+TEST(Interference, EveryCellJammedInExactlyFivePatterns) {
+  // The design guarantee of Sec. 4: wherever Eve stands, 5 of the 9
+  // rotating patterns jam her cell (3 row + 3 column - 1 overlap).
+  for (std::size_t c = 0; c < CellGrid::kCells; ++c)
+    EXPECT_EQ(InterferenceSchedule::patterns_jamming(CellIndex{c}), 5u)
+        << "cell " << c;
+}
+
+TEST(Interference, AntennasSitOnPerimeter) {
+  const CellGrid grid;
+  const InterferenceSchedule sched{grid};
+  for (std::size_t r = 0; r < 3; ++r) {
+    const auto ants = sched.row_antennas(r);
+    EXPECT_DOUBLE_EQ(ants[0].x, 0.0);
+    EXPECT_DOUBLE_EQ(ants[1].x, grid.side());
+  }
+  for (std::size_t c = 0; c < 3; ++c) {
+    const auto ants = sched.col_antennas(c);
+    EXPECT_DOUBLE_EQ(ants[0].y, 0.0);
+    EXPECT_DOUBLE_EQ(ants[1].y, grid.side());
+  }
+}
+
+TEST(Interference, InBeamPowerExceedsSidelobe) {
+  const CellGrid grid;
+  const InterferenceSchedule sched{grid};
+  const LogDistancePathLoss pl;
+  // Slot 0 jams row 0 and column 0. A receiver in cell 0 (in both beams)
+  // must see far more interference than one in cell 8 (in neither).
+  const double in_beam = sched.interference_mw(grid.center(CellIndex{0}), 0, pl);
+  const double out_beam = sched.interference_mw(grid.center(CellIndex{8}), 0, pl);
+  EXPECT_GT(in_beam, out_beam * 10.0);
+}
+
+TEST(TestbedChannel, JammedCellsLoseMorePackets) {
+  TestbedChannel ch;
+  ch.place_in_cell(packet::NodeId{0}, CellIndex{4});  // tx in centre
+  ch.place_in_cell(packet::NodeId{1}, CellIndex{0});
+  // Slot 0 jams row 0 + col 0: cell 0 jammed. Slot 8 jams row 2 + col 2:
+  // cell 0 clear.
+  const double per_jam =
+      ch.erasure_probability({packet::NodeId{0}, packet::NodeId{1}, 0});
+  const double per_clear =
+      ch.erasure_probability({packet::NodeId{0}, packet::NodeId{1}, 8});
+  EXPECT_GT(per_jam, 0.7);
+  EXPECT_LT(per_clear, 0.3);
+}
+
+TEST(TestbedChannel, InterferenceDisabledMeansCleanChannel) {
+  TestbedChannel::Config cfg;
+  cfg.interference_enabled = false;
+  TestbedChannel ch(cfg);
+  ch.place_in_cell(packet::NodeId{0}, CellIndex{4});
+  ch.place_in_cell(packet::NodeId{1}, CellIndex{0});
+  for (std::size_t s = 0; s < 9; ++s)
+    EXPECT_LE(ch.erasure_probability({packet::NodeId{0}, packet::NodeId{1}, s}),
+              cfg.sinr.floor + 1e-9);
+}
+
+TEST(TestbedChannel, UnplacedNodeThrows) {
+  TestbedChannel ch;
+  ch.place_in_cell(packet::NodeId{0}, CellIndex{4});
+  EXPECT_THROW(
+      (void)ch.erasure_probability({packet::NodeId{0}, packet::NodeId{9}, 0}),
+      std::out_of_range);
+}
+
+TEST(TestbedChannel, SinrSymmetricInDistance) {
+  TestbedChannel ch;
+  ch.place_in_cell(packet::NodeId{0}, CellIndex{0});
+  ch.place_in_cell(packet::NodeId{1}, CellIndex{8});
+  // Same distance both ways; with no jamming difference for the diagonal
+  // pair in slot 4 (jams row 1 / col 1 — neither corner), SINR matches.
+  EXPECT_NEAR(ch.link_sinr_db(packet::NodeId{0}, packet::NodeId{1}, 4),
+              ch.link_sinr_db(packet::NodeId{1}, packet::NodeId{0}, 4), 1e-9);
+}
+
+}  // namespace
+}  // namespace thinair::channel

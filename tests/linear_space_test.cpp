@@ -1,0 +1,126 @@
+// Incremental row-space maintenance — the engine of the secrecy analysis.
+#include "gf/linear_space.h"
+
+#include <gtest/gtest.h>
+
+#include "gf/mds.h"
+
+namespace thinair::gf {
+namespace {
+
+std::vector<std::uint8_t> vec(std::initializer_list<unsigned> vs) {
+  std::vector<std::uint8_t> out;
+  for (unsigned v : vs) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+TEST(LinearSpace, StartsEmpty) {
+  const LinearSpace s(5);
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.dim(), 5u);
+}
+
+TEST(LinearSpace, InsertIndependentGrowsRank) {
+  LinearSpace s(3);
+  EXPECT_TRUE(s.insert(vec({1, 0, 0})));
+  EXPECT_TRUE(s.insert(vec({0, 1, 0})));
+  EXPECT_EQ(s.rank(), 2u);
+}
+
+TEST(LinearSpace, InsertDependentReturnsFalse) {
+  LinearSpace s(3);
+  EXPECT_TRUE(s.insert(vec({1, 2, 3})));
+  EXPECT_TRUE(s.insert(vec({0, 1, 1})));
+  // 1*(1,2,3) + 2*(0,1,1): over GF(2^8), 2*(0,1,1) = (0,2,2), sum (1,0,1).
+  EXPECT_FALSE(s.insert(vec({1, 0, 1})));
+  EXPECT_EQ(s.rank(), 2u);
+}
+
+TEST(LinearSpace, ZeroVectorNeverGrows) {
+  LinearSpace s(4);
+  EXPECT_FALSE(s.insert(vec({0, 0, 0, 0})));
+}
+
+TEST(LinearSpace, WrongLengthThrows) {
+  LinearSpace s(3);
+  EXPECT_THROW((void)s.insert(vec({1, 2})), std::invalid_argument);
+  EXPECT_THROW((void)s.contains(vec({1, 2, 3, 4})), std::invalid_argument);
+}
+
+TEST(LinearSpace, InsertUnitAndContains) {
+  LinearSpace s(4);
+  EXPECT_TRUE(s.insert_unit(2));
+  EXPECT_TRUE(s.contains(vec({0, 0, 7, 0})));   // scaled unit
+  EXPECT_FALSE(s.contains(vec({1, 0, 0, 0})));
+  EXPECT_THROW((void)s.insert_unit(9), std::out_of_range);
+}
+
+TEST(LinearSpace, RankNeverExceedsDim) {
+  LinearSpace s(3);
+  const Matrix m = mds::vandermonde(3, 3).vstack(mds::cauchy(2, 3));
+  s.insert_rows(m);
+  EXPECT_EQ(s.rank(), 3u);
+}
+
+TEST(LinearSpace, InsertRowsCountsIndependentOnes) {
+  LinearSpace s(4);
+  Matrix m(3, 4);
+  m.set(0, 0, kOne);
+  m.set(1, 0, GF256(3));  // dependent on row 0
+  m.set(2, 1, kOne);
+  EXPECT_EQ(s.insert_rows(m), 2u);
+}
+
+TEST(LinearSpace, ResidualRankIsEquivocation) {
+  LinearSpace s(4);
+  s.insert_unit(0);
+  Matrix secret(2, 4);
+  secret.set(0, 0, kOne);  // fully known given unit 0
+  secret.set(1, 3, kOne);  // unknown
+  EXPECT_EQ(s.residual_rank(secret), 1u);
+  // Residual queries must not mutate the space.
+  EXPECT_EQ(s.rank(), 1u);
+}
+
+TEST(LinearSpace, ResidualRankZeroWhenContained) {
+  LinearSpace s(3);
+  s.insert(vec({1, 1, 0}));
+  s.insert(vec({0, 1, 1}));
+  Matrix m(1, 3);
+  m.set(0, 0, kOne);
+  m.set(0, 2, kOne);  // (1,0,1) = (1,1,0)+(0,1,1)
+  EXPECT_EQ(s.residual_rank(m), 0u);
+}
+
+TEST(LinearSpace, BasisIsRowReducedAndSpansInserted) {
+  LinearSpace s(4);
+  s.insert(vec({2, 4, 6, 8}));
+  s.insert(vec({0, 0, 5, 5}));
+  const Matrix b = s.basis();
+  EXPECT_EQ(b.rows(), 2u);
+  EXPECT_TRUE(s.contains(vec({2, 4, 6, 8})));
+  EXPECT_TRUE(s.contains(vec({0, 0, 5, 5})));
+  // Basis rows are normalised: leading entries are 1.
+  EXPECT_EQ(b.at(0, 0), kOne);
+  EXPECT_EQ(b.at(1, 2), kOne);
+}
+
+// Property: inserting the rows of an MDS generator one by one grows rank
+// by exactly one each time (they are always independent).
+class MdsInsertSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MdsInsertSweep, GeneratorRowsAllIndependent) {
+  const std::size_t k = GetParam();
+  const Matrix g = mds::vandermonde(k, 10);
+  LinearSpace s(10);
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_TRUE(s.insert(g.row(i)));
+    EXPECT_EQ(s.rank(), i + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, MdsInsertSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 10u));
+
+}  // namespace
+}  // namespace thinair::gf

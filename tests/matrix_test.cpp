@@ -1,0 +1,207 @@
+// Dense GF(2^8) matrix algebra: multiplication, elimination, rank,
+// inversion and solving — the machinery every protocol phase leans on.
+#include "gf/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "channel/rng.h"
+
+namespace thinair::gf {
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  channel::Rng rng(seed);
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j) m.set(i, j, GF256(rng.next_byte()));
+  return m;
+}
+
+TEST(Matrix, InitializerListAndAccessors) {
+  const Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.at(0, 2), GF256(3));
+  EXPECT_EQ(m.at(1, 0), GF256(4));
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityIsMultiplicativeNeutral) {
+  const Matrix a = random_matrix(5, 5, 1);
+  EXPECT_EQ(a.mul(Matrix::identity(5)), a);
+  EXPECT_EQ(Matrix::identity(5).mul(a), a);
+}
+
+TEST(Matrix, MulDimensionMismatchThrows) {
+  const Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a.mul(b), std::invalid_argument);
+}
+
+TEST(Matrix, MulMatchesManualComputation) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = a.mul(b);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j) {
+      const GF256 want = a.at(i, 0) * b.at(0, j) + a.at(i, 1) * b.at(1, j);
+      EXPECT_EQ(c.at(i, j), want);
+    }
+}
+
+TEST(Matrix, MulAssociates) {
+  const Matrix a = random_matrix(4, 6, 2);
+  const Matrix b = random_matrix(6, 3, 3);
+  const Matrix c = random_matrix(3, 5, 4);
+  EXPECT_EQ(a.mul(b).mul(c), a.mul(b.mul(c)));
+}
+
+TEST(Matrix, TransposeInvolution) {
+  const Matrix a = random_matrix(3, 7, 5);
+  EXPECT_EQ(a.transpose().transpose(), a);
+  EXPECT_EQ(a.transpose().rows(), 7u);
+}
+
+TEST(Matrix, VstackHstackShapes) {
+  const Matrix a = random_matrix(2, 4, 6);
+  const Matrix b = random_matrix(3, 4, 7);
+  const Matrix v = a.vstack(b);
+  EXPECT_EQ(v.rows(), 5u);
+  EXPECT_EQ(v.at(2, 1), b.at(0, 1));
+
+  const Matrix c = random_matrix(2, 3, 8);
+  const Matrix h = a.hstack(c);
+  EXPECT_EQ(h.cols(), 7u);
+  EXPECT_EQ(h.at(1, 6), c.at(1, 2));
+}
+
+TEST(Matrix, VstackMismatchThrows) {
+  EXPECT_THROW(Matrix(2, 3).vstack(Matrix(2, 4)), std::invalid_argument);
+  EXPECT_THROW(Matrix(2, 3).hstack(Matrix(3, 3)), std::invalid_argument);
+}
+
+TEST(Matrix, SelectColumnsAndRows) {
+  const Matrix a{{1, 2, 3}, {4, 5, 6}};
+  const std::vector<std::size_t> cols{2, 0};
+  const Matrix s = a.select_columns(cols);
+  EXPECT_EQ(s.at(0, 0), GF256(3));
+  EXPECT_EQ(s.at(1, 1), GF256(4));
+
+  const std::vector<std::size_t> rows{1};
+  const Matrix r = a.select_rows(rows);
+  EXPECT_EQ(r.rows(), 1u);
+  EXPECT_EQ(r.at(0, 0), GF256(4));
+}
+
+TEST(Matrix, SelectOutOfRangeThrows) {
+  const Matrix a(2, 2);
+  const std::vector<std::size_t> bad{5};
+  EXPECT_THROW(a.select_columns(bad), std::out_of_range);
+  EXPECT_THROW(a.select_rows(bad), std::out_of_range);
+}
+
+TEST(Matrix, RankOfIdentityAndZero) {
+  EXPECT_EQ(Matrix::identity(6).rank(), 6u);
+  EXPECT_EQ(Matrix::zero(4, 4).rank(), 0u);
+}
+
+TEST(Matrix, RankDetectsDependentRows) {
+  Matrix m(3, 3);
+  // row2 = row0 + row1.
+  const Matrix base{{1, 2, 3}, {4, 5, 6}};
+  for (std::size_t j = 0; j < 3; ++j) {
+    m.set(0, j, base.at(0, j));
+    m.set(1, j, base.at(1, j));
+    m.set(2, j, base.at(0, j) + base.at(1, j));
+  }
+  EXPECT_EQ(m.rank(), 2u);
+}
+
+TEST(Matrix, RowReduceGivesPivots) {
+  Matrix m{{0, 1, 2}, {0, 0, 3}};
+  const auto pivots = m.row_reduce();
+  ASSERT_EQ(pivots.size(), 2u);
+  EXPECT_EQ(pivots[0], 1u);
+  EXPECT_EQ(pivots[1], 2u);
+  // Reduced form: pivot entries are 1, everything above/below is 0.
+  EXPECT_EQ(m.at(0, 1), kOne);
+  EXPECT_EQ(m.at(0, 2), kZero);
+  EXPECT_EQ(m.at(1, 2), kOne);
+}
+
+TEST(Matrix, InverseRoundTrip) {
+  for (std::uint64_t seed = 10; seed < 15; ++seed) {
+    Matrix a = random_matrix(6, 6, seed);
+    const auto inv = a.inverse();
+    if (!inv.has_value()) continue;  // singular random draw
+    EXPECT_EQ(a.mul(*inv), Matrix::identity(6));
+    EXPECT_EQ(inv->mul(a), Matrix::identity(6));
+  }
+}
+
+TEST(Matrix, InverseOfSingularIsNullopt) {
+  Matrix a(3, 3);  // zero matrix
+  EXPECT_FALSE(a.inverse().has_value());
+  EXPECT_FALSE(Matrix(2, 3).inverse().has_value());  // non-square
+}
+
+TEST(Matrix, SolveUniqueSystem) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix x{{7}, {9}};
+  const Matrix b = a.mul(x);
+  const auto solved = a.solve(b);
+  ASSERT_TRUE(solved.has_value());
+  EXPECT_EQ(*solved, x);
+}
+
+TEST(Matrix, SolveTallFullColumnRank) {
+  // Overdetermined but consistent: 3 equations, 2 unknowns.
+  const Matrix a{{1, 0}, {0, 1}, {1, 1}};
+  const Matrix x{{5}, {6}};
+  const Matrix b = a.mul(x);
+  const auto solved = a.solve(b);
+  ASSERT_TRUE(solved.has_value());
+  EXPECT_EQ(*solved, x);
+}
+
+TEST(Matrix, SolveInconsistentReturnsNullopt) {
+  const Matrix a{{1, 0}, {1, 0}};
+  const Matrix b{{1}, {2}};  // contradictory equations
+  EXPECT_FALSE(a.solve(b).has_value());
+}
+
+TEST(Matrix, SolveUnderdeterminedReturnsNullopt) {
+  const Matrix a{{1, 2}};  // one equation, two unknowns
+  const Matrix b{{3}};
+  EXPECT_FALSE(a.solve(b).has_value());
+}
+
+TEST(Matrix, InvertibleMatchesRank) {
+  const Matrix id = Matrix::identity(4);
+  EXPECT_TRUE(id.invertible());
+  EXPECT_FALSE(Matrix::zero(4, 4).invertible());
+  EXPECT_FALSE(Matrix(3, 4).invertible());
+}
+
+// Property sweep: for random square matrices, rank(A) == rank(A^T).
+class MatrixRankSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatrixRankSweep, RankEqualsTransposeRank) {
+  const Matrix a = random_matrix(8, 8, GetParam());
+  EXPECT_EQ(a.rank(), a.transpose().rank());
+}
+
+TEST_P(MatrixRankSweep, MulByInvertiblePreservesRank) {
+  const Matrix a = random_matrix(6, 9, GetParam() + 100);
+  Matrix p = random_matrix(6, 6, GetParam() + 200);
+  if (!p.invertible()) return;
+  EXPECT_EQ(p.mul(a).rank(), a.rank());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatrixRankSweep,
+                         ::testing::Values(21u, 22u, 23u, 24u, 25u, 26u));
+
+}  // namespace
+}  // namespace thinair::gf

@@ -1,0 +1,211 @@
+// The y-pool: allocation invariants, reconstruction audiences and the
+// secrecy property against the oracle adversary.
+#include "core/pool.h"
+
+#include <gtest/gtest.h>
+
+#include "channel/rng.h"
+#include "gf/linear_space.h"
+
+namespace thinair::core {
+namespace {
+
+packet::NodeId T(std::uint16_t v) { return packet::NodeId{v}; }
+
+ReceptionTable paper_like_table() {
+  // Alice = 0; Bob = 1; Calvin = 2; 9 x-packets.
+  ReceptionTable t(T(0), {T(1), T(2)}, 9);
+  t.set_received(T(1), {0, 1, 2, 3, 4, 5});
+  t.set_received(T(2), {0, 1, 2, 6, 7});
+  return t;
+}
+
+TEST(YPool, CountsAndKnownIndicesFollowAudience) {
+  YPool pool(4, {T(1), T(2)});
+  packet::Combination c;
+  c.add(0, gf::kOne);
+  net::NodeSet both;
+  both.insert(T(1));
+  both.insert(T(2));
+  pool.add({c, both});
+  net::NodeSet only1;
+  only1.insert(T(1));
+  pool.add({c, only1});
+
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.count_for(T(1)), 2u);
+  EXPECT_EQ(pool.count_for(T(2)), 1u);
+  EXPECT_EQ(pool.known_indices(T(2)), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(pool.group_secret_size(), 1u);
+}
+
+TEST(YPool, AddValidatesUniverse) {
+  YPool pool(2, {T(1)});
+  packet::Combination c;
+  c.add(5, gf::kOne);
+  EXPECT_THROW(pool.add({c, {}}), std::out_of_range);
+}
+
+TEST(YPool, RowsMatchCombinations) {
+  YPool pool(3, {T(1)});
+  packet::Combination c;
+  c.add(0, gf::GF256(3));
+  c.add(2, gf::GF256(7));
+  pool.add({c, {}});
+  const gf::Matrix rows = pool.rows();
+  EXPECT_EQ(rows.at(0, 0), gf::GF256(3));
+  EXPECT_EQ(rows.at(0, 1), gf::kZero);
+  EXPECT_EQ(rows.at(0, 2), gf::GF256(7));
+}
+
+TEST(BuildPool, OracleAllocationMatchesEveMisses) {
+  const ReceptionTable t = paper_like_table();
+  // Eve received {0, 1, 6}: misses {2,3,4,5} of R1 and {2,7} of R2.
+  const OracleEstimator est({0, 1, 6}, 9);
+  const PoolBuildResult r =
+      build_pool(t, est, PoolStrategy::kClassShared);
+
+  EXPECT_EQ(r.ceilings, (std::vector<std::size_t>{4, 2}));
+  EXPECT_EQ(r.pool.count_for(T(1)), 4u);
+  EXPECT_EQ(r.pool.count_for(T(2)), 2u);
+  EXPECT_EQ(r.pool.group_secret_size(), 2u);
+  // Shared class {0,1,2} contributes y-packets both terminals reconstruct:
+  // Eve missed x2 there, so exactly 1 shared y.
+  std::size_t shared = 0;
+  for (const auto& e : r.pool.entries())
+    if (e.audience.contains(T(1)) && e.audience.contains(T(2))) ++shared;
+  EXPECT_EQ(shared, 1u);
+}
+
+TEST(BuildPool, OraclePoolIsJointlyUniformForEve) {
+  // The theorem the construction implements: with oracle caps every pool
+  // row stays independent of Eve's view.
+  const ReceptionTable t = paper_like_table();
+  const std::vector<std::uint32_t> eve{0, 1, 6};
+  const OracleEstimator est(eve, 9);
+  const PoolBuildResult r = build_pool(t, est, PoolStrategy::kClassShared);
+
+  gf::LinearSpace eve_space(9);
+  for (std::uint32_t i : eve) eve_space.insert_unit(i);
+  EXPECT_EQ(eve_space.residual_rank(r.pool.rows()), r.pool.size());
+}
+
+TEST(BuildPool, CapsNeverExceedClassSizes) {
+  const ReceptionTable t = paper_like_table();
+  const FractionEstimator est(0.9);
+  const PoolBuildResult r = build_pool(t, est, PoolStrategy::kClassShared);
+  for (const PoolAllocation& a : r.allocations) {
+    EXPECT_LE(a.allocated, a.class_size);
+    EXPECT_LE(a.allocated, a.cap);
+  }
+}
+
+TEST(BuildPool, CeilingsBoundPerTerminalCounts) {
+  const ReceptionTable t = paper_like_table();
+  const FractionEstimator est(0.5);
+  const PoolBuildResult r = build_pool(t, est, PoolStrategy::kClassShared);
+  const auto& receivers = t.receivers();
+  for (std::size_t i = 0; i < receivers.size(); ++i)
+    EXPECT_LE(r.pool.count_for(receivers[i]), r.ceilings[i]);
+}
+
+TEST(BuildPool, ZeroEstimateMeansEmptyPool) {
+  const ReceptionTable t = paper_like_table();
+  const FractionEstimator est(0.0);
+  const PoolBuildResult r = build_pool(t, est, PoolStrategy::kClassShared);
+  EXPECT_EQ(r.pool.size(), 0u);
+  EXPECT_EQ(r.pool.group_secret_size(), 0u);
+}
+
+TEST(BuildPool, EntriesAreReconstructibleByAudience) {
+  const ReceptionTable t = paper_like_table();
+  const FractionEstimator est(0.5);
+  const PoolBuildResult r = build_pool(t, est, PoolStrategy::kClassShared);
+  for (const auto& e : r.pool.entries())
+    for (packet::NodeId rec : t.receivers()) {
+      if (!e.audience.contains(rec)) continue;
+      for (const packet::Term& term : e.combo.terms())
+        EXPECT_TRUE(t.has(rec, term.index));
+    }
+}
+
+TEST(BuildPool, TerminalMdsRowsSpanWholeReceptionSet) {
+  const ReceptionTable t = paper_like_table();
+  const FractionEstimator est(0.5);
+  const PoolBuildResult r = build_pool(t, est, PoolStrategy::kTerminalMds);
+  // Every row's support is a full reception set (count-robust codes).
+  for (const auto& e : r.pool.entries()) {
+    const std::size_t support = e.combo.terms().size();
+    EXPECT_TRUE(support == t.received_count(T(1)) ||
+                support == t.received_count(T(2)))
+        << "support " << support;
+  }
+  EXPECT_EQ(r.pool.count_for(T(1)), 3u);  // floor(0.5 * 6)
+  EXPECT_EQ(r.pool.count_for(T(2)), 2u);  // floor(0.5 * 5)
+}
+
+TEST(BuildPool, TerminalMdsDedupsIdenticalReceptions) {
+  ReceptionTable t(T(0), {T(1), T(2)}, 6);
+  t.set_received(T(1), {0, 1, 2, 3});
+  t.set_received(T(2), {0, 1, 2, 3});  // identical -> identical rows
+  const FractionEstimator est(0.5);
+  const PoolBuildResult r = build_pool(t, est, PoolStrategy::kTerminalMds);
+  EXPECT_EQ(r.pool.size(), 2u);  // merged, not 4
+  EXPECT_EQ(r.pool.count_for(T(1)), 2u);
+  EXPECT_EQ(r.pool.count_for(T(2)), 2u);
+}
+
+TEST(BuildPool, PoolNeverExceedsFieldLimit) {
+  // 300 packets, everyone receives everything, fraction 1.0 would want
+  // 300 y-packets; the pool must clamp at 255.
+  std::vector<std::uint32_t> all;
+  for (std::uint32_t i = 0; i < 300; ++i) all.push_back(i);
+  ReceptionTable t(T(0), {T(1), T(2)}, 300);
+  t.set_received(T(1), all);
+  t.set_received(T(2), all);
+  const FractionEstimator est(1.0);
+  for (PoolStrategy s :
+       {PoolStrategy::kClassShared, PoolStrategy::kTerminalMds}) {
+    const PoolBuildResult r = build_pool(t, est, s);
+    EXPECT_LE(r.pool.size(), 255u) << to_string(s);
+    EXPECT_GT(r.pool.size(), 0u) << to_string(s);
+  }
+}
+
+TEST(BuildPool, StrategyNames) {
+  EXPECT_EQ(to_string(PoolStrategy::kClassShared), "class-shared");
+  EXPECT_EQ(to_string(PoolStrategy::kTerminalMds), "terminal-mds");
+}
+
+// Property sweep: under the oracle, for random reception patterns, the
+// pool is always jointly uniform from Eve's perspective and every
+// terminal's count matches its ceiling.
+class OraclePoolSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OraclePoolSweep, JointUniformityHolds) {
+  channel::Rng rng(GetParam());
+  const std::size_t n = 30;
+  ReceptionTable t(T(0), {T(1), T(2), T(3)}, n);
+  std::vector<std::uint32_t> eve;
+  for (packet::NodeId r : {T(1), T(2), T(3)}) {
+    std::vector<std::uint32_t> got;
+    for (std::uint32_t i = 0; i < n; ++i)
+      if (rng.bernoulli(0.6)) got.push_back(i);
+    t.set_received(r, got);
+  }
+  for (std::uint32_t i = 0; i < n; ++i)
+    if (rng.bernoulli(0.5)) eve.push_back(i);
+
+  const OracleEstimator est(eve, n);
+  const PoolBuildResult r = build_pool(t, est, PoolStrategy::kClassShared);
+
+  gf::LinearSpace eve_space(n);
+  for (std::uint32_t i : eve) eve_space.insert_unit(i);
+  EXPECT_EQ(eve_space.residual_rank(r.pool.rows()), r.pool.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OraclePoolSweep,
+                         ::testing::Range<std::uint64_t>(100, 112));
+
+}  // namespace
+}  // namespace thinair::core

@@ -1,0 +1,126 @@
+// Statistics (the Figure-2 aggregations) and the table printer; plus the
+// secret pool.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/secret.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace thinair {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  util::Summary s;
+  s.add_all({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_NEAR(s.stddev(), 1.2909944, 1e-6);
+}
+
+TEST(Summary, EmptyThrows) {
+  const util::Summary s;
+  EXPECT_THROW((void)s.min(), std::logic_error);
+  EXPECT_THROW((void)s.mean(), std::logic_error);
+  EXPECT_THROW((void)s.quantile(0.5), std::logic_error);
+}
+
+TEST(Summary, QuantileInterpolates) {
+  util::Summary s;
+  s.add_all({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 10.0);
+  EXPECT_THROW((void)s.quantile(1.5), std::invalid_argument);
+}
+
+TEST(Summary, ExceededByIsThePapersPercentile) {
+  util::Summary s;
+  // 10 experiments: reliability 0.1, 0.2, ..., 1.0.
+  for (int i = 1; i <= 10; ++i) s.add(i / 10.0);
+  // Value achieved in at least 50% of experiments: 6 samples are >= 0.5,
+  // 5 are >= 0.6 -> the largest v with >= 5 samples above is 0.6.
+  EXPECT_DOUBLE_EQ(s.exceeded_by(0.5), 0.6);
+  // 95% of 10 -> 10 samples needed -> the minimum.
+  EXPECT_DOUBLE_EQ(s.exceeded_by(0.95), 0.1);
+  // All samples: the minimum again.
+  EXPECT_DOUBLE_EQ(s.exceeded_by(1.0), 0.1);
+}
+
+TEST(Summary, ExceededByOnConstantSamples) {
+  util::Summary s;
+  for (int i = 0; i < 7; ++i) s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.exceeded_by(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(s.exceeded_by(0.95), 1.0);
+}
+
+TEST(Summary, StddevOfSingletonIsZero) {
+  util::Summary s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  util::Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os, 0);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name   value"), std::string::npos);
+  EXPECT_NE(out.find("alpha  1"), std::string::npos);
+  EXPECT_NE(out.find("-----  -----"), std::string::npos);
+}
+
+TEST(Table, ValidatesShape) {
+  EXPECT_THROW(util::Table({}), std::invalid_argument);
+  util::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableFmt, FixedPrecision) {
+  EXPECT_EQ(util::fmt(0.0376, 3), "0.038");
+  EXPECT_EQ(util::fmt(1.0, 2), "1.00");
+  EXPECT_EQ(util::fmt(-2.5, 1), "-2.5");
+}
+
+TEST(SecretPool, DepositAndDraw) {
+  core::SecretPool pool;
+  pool.deposit({1, 2, 3, 4, 5});
+  EXPECT_EQ(pool.available(), 5u);
+  const auto k = pool.draw(3);
+  ASSERT_TRUE(k.has_value());
+  EXPECT_EQ(*k, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(pool.available(), 2u);
+}
+
+TEST(SecretPool, RefusesPartialKeys) {
+  core::SecretPool pool;
+  pool.deposit({1, 2});
+  EXPECT_FALSE(pool.draw(3).has_value());
+  EXPECT_EQ(pool.available(), 2u);  // nothing consumed on failure
+}
+
+TEST(SecretPool, DrawsAreDisjoint) {
+  core::SecretPool pool;
+  pool.deposit({1, 2, 3, 4});
+  const auto a = pool.draw(2);
+  const auto b = pool.draw(2);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(*a, (std::vector<std::uint8_t>{1, 2}));
+  EXPECT_EQ(*b, (std::vector<std::uint8_t>{3, 4}));
+  EXPECT_EQ(pool.total_deposited(), 4u);
+}
+
+TEST(SecretPool, Key128Helper) {
+  core::SecretPool pool;
+  pool.deposit(std::vector<std::uint8_t>(20, 7));
+  EXPECT_TRUE(pool.draw_key128().has_value());
+  EXPECT_FALSE(pool.draw_key128().has_value());
+}
+
+}  // namespace
+}  // namespace thinair
