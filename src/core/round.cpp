@@ -29,17 +29,24 @@ RoundContext open_round(net::Medium& medium, packet::NodeId alice,
       .table = ReceptionTable(alice, receivers, n),
   };
 
-  // Step 1: N random payloads, broadcast once each.
+  // Step 1: N random payloads, broadcast once each. The frame is built in
+  // one Packet whose payload buffer is reused across all N transmissions
+  // (assign() recycles its capacity) — this loop dominates every
+  // experiment, and a fresh std::vector per x-packet showed up in the
+  // protocol microbench.
+  packet::Packet pkt{.kind = packet::Kind::kData,
+                     .source = alice,
+                     .round = round,
+                     .seq = packet::PacketSeq{0},
+                     .payload = {}};
+  pkt.payload.reserve(payload_bytes);
   for (std::uint32_t i = 0; i < n; ++i) {
-    packet::Payload body(payload_bytes);
+    packet::Payload& body = ctx.x_payloads[i];
+    body.resize(payload_bytes);
     for (auto& b : body) b = medium.rng().next_byte();
-    ctx.x_payloads[i] = body;
 
-    packet::Packet pkt{.kind = packet::Kind::kData,
-                       .source = alice,
-                       .round = round,
-                       .seq = packet::PacketSeq{i},
-                       .payload = std::move(body)};
+    pkt.seq = packet::PacketSeq{i};
+    pkt.payload.assign(body.begin(), body.end());
     ctx.slot_of[i] = medium.slot() % channel::InterferenceSchedule::kPatterns;
     const net::Medium::TxResult tx =
         medium.transmit(alice, pkt, net::TrafficClass::kData);

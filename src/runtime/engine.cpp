@@ -1,0 +1,86 @@
+#include "runtime/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <mutex>
+
+#include "runtime/seed.h"
+#include "runtime/task_pool.h"
+
+namespace thinair::runtime {
+
+RunStats run_scenario(const Scenario& scenario, const RunOptions& options,
+                      ResultSink& sink) {
+  const SweepPlan plan = scenario.plan();
+  std::size_t n_cases = plan.size();
+  if (options.limit != 0 && options.limit < n_cases) n_cases = options.limit;
+
+  const std::size_t threads =
+      options.threads == 0 ? TaskPool::hardware_threads() : options.threads;
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const auto run_case = [&](std::size_t index) {
+    CaseSpec spec{index, derive_seed(options.master_seed, index),
+                  plan.at(index)};
+    const CaseResult result = scenario.run(spec);
+    sink.push(spec, result);
+  };
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n_cases; ++i) run_case(i);
+  } else {
+    std::mutex err_mu;
+    std::exception_ptr first_error;
+    {
+      TaskPool pool(threads);
+      for (std::size_t i = 0; i < n_cases; ++i) {
+        pool.submit([&, i] {
+          try {
+            run_case(i);
+          } catch (...) {
+            std::lock_guard lock(err_mu);
+            if (!first_error) first_error = std::current_exception();
+          }
+        });
+      }
+      pool.wait_idle();
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  sink.finish();
+
+  const auto t1 = std::chrono::steady_clock::now();
+  RunStats stats;
+  stats.cases = n_cases;
+  stats.threads = threads;
+  stats.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  return stats;
+}
+
+std::vector<std::pair<CaseSpec, CaseResult>> run_scenario_collect(
+    const Scenario& scenario, const RunOptions& options, RunStats* stats) {
+  // Build the plan once and hand run_scenario a factory that replays it —
+  // plan factories can be expensive (placement enumeration).
+  const SweepPlan plan = scenario.plan();
+  std::vector<std::pair<CaseSpec, CaseResult>> collected(
+      options.limit != 0 ? std::min(options.limit, plan.size())
+                         : plan.size());
+  std::mutex mu;
+  Scenario wrapped = scenario;
+  wrapped.plan = [&plan] { return plan; };
+  wrapped.run = [&](const CaseSpec& spec) {
+    CaseResult result = scenario.run(spec);
+    std::lock_guard lock(mu);
+    collected[spec.index] = {spec, result};
+    return result;
+  };
+  ResultSink sink(scenario.name, nullptr);
+  const RunStats run = run_scenario(wrapped, options, sink);
+  if (stats != nullptr) *stats = run;
+  return collected;
+}
+
+}  // namespace thinair::runtime

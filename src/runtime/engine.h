@@ -1,0 +1,52 @@
+#pragma once
+// The sweep engine: expands a scenario's SweepPlan, derives one seed per
+// case, executes every case on a work-stealing TaskPool and streams the
+// results through a ResultSink. The determinism contract: for a fixed
+// (scenario, master_seed), the NDJSON bytes and the summary aggregates
+// are identical for every thread count, because nothing observable
+// depends on scheduling — seeds come from case indices and the sink
+// re-orders emission by index.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "runtime/result_sink.h"
+#include "runtime/scenario.h"
+
+namespace thinair::runtime {
+
+struct RunOptions {
+  std::size_t threads = 0;        // 0 = hardware concurrency
+  std::uint64_t master_seed = 1;
+  /// Run only the first `limit` cases of the plan (0 = all) — a cheap
+  /// smoke-run knob for the CLI.
+  std::size_t limit = 0;
+};
+
+struct RunStats {
+  std::size_t cases = 0;
+  std::size_t threads = 0;
+  double wall_s = 0.0;
+
+  [[nodiscard]] double cases_per_s() const {
+    return wall_s > 0.0 ? static_cast<double>(cases) / wall_s : 0.0;
+  }
+};
+
+/// Execute `scenario` and feed every case into `sink` (the caller calls
+/// sink.finish() semantics internally — the sink is finished on return).
+/// Throws whatever the scenario's plan/run throws; with threads > 1 the
+/// first case exception is rethrown after the pool drains.
+RunStats run_scenario(const Scenario& scenario, const RunOptions& options,
+                      ResultSink& sink);
+
+/// Convenience for presentation layers (bench tables) that need every
+/// case, not just aggregates: run on the engine and return (spec, result)
+/// pairs in case-index order. Holds all results in memory — use the sink
+/// API for unbounded sweeps.
+std::vector<std::pair<CaseSpec, CaseResult>> run_scenario_collect(
+    const Scenario& scenario, const RunOptions& options,
+    RunStats* stats = nullptr);
+
+}  // namespace thinair::runtime

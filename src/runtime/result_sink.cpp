@@ -1,0 +1,132 @@
+#include "runtime/result_sink.h"
+
+#include <charconv>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/table.h"
+
+namespace thinair::runtime {
+
+namespace {
+
+// Minimal JSON string escaping for names that flow into NDJSON keys and
+// values — scenarios are an extension point, so labels are not trusted to
+// be quote-free.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string format_double(double value) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc{})
+    throw std::runtime_error("format_double: to_chars failed");
+  return std::string(buf, ptr);
+}
+
+ResultSink::ResultSink(std::string scenario_name, std::ostream* ndjson)
+    : scenario_name_(std::move(scenario_name)), ndjson_(ndjson) {}
+
+void ResultSink::push(const CaseSpec& spec, const CaseResult& result) {
+  std::lock_guard lock(mu_);
+  if (spec.index < next_emit_ || pending_.contains(spec.index))
+    throw std::logic_error("ResultSink: case pushed twice");
+  if (spec.index != next_emit_) {
+    pending_.emplace(spec.index, std::make_pair(spec, result));
+    return;
+  }
+  emit(spec, result);
+  ++next_emit_;
+  // Drain the contiguous run that was waiting on this case.
+  for (auto it = pending_.begin();
+       it != pending_.end() && it->first == next_emit_;
+       it = pending_.erase(it), ++next_emit_) {
+    emit(it->second.first, it->second.second);
+  }
+}
+
+void ResultSink::emit(const CaseSpec& spec, const CaseResult& result) {
+  if (ndjson_ != nullptr) {
+    std::ostream& os = *ndjson_;
+    os << "{\"scenario\":\"" << json_escape(scenario_name_)
+       << "\",\"index\":" << spec.index << ",\"seed\":" << spec.seed;
+    if (!result.group.empty())
+      os << ",\"group\":\"" << json_escape(result.group) << "\"";
+    os << ",\"params\":{";
+    for (std::size_t i = 0; i < spec.params.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "\"" << json_escape(spec.params[i].name)
+         << "\":" << format_double(spec.params[i].value);
+    }
+    os << "},\"metrics\":{";
+    for (std::size_t i = 0; i < result.metrics.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "\"" << json_escape(result.metrics[i].name)
+         << "\":" << format_double(result.metrics[i].value);
+    }
+    os << "}}\n";
+  }
+
+  GroupSummary* group = nullptr;
+  for (GroupSummary& g : groups_)
+    if (g.group == result.group) group = &g;
+  if (group == nullptr) {
+    groups_.push_back(GroupSummary{result.group, 0, {}});
+    group = &groups_.back();
+  }
+  ++group->cases;
+  for (const Metric& m : result.metrics) group->metrics[m.name].add(m.value);
+}
+
+void ResultSink::finish() {
+  std::lock_guard lock(mu_);
+  if (!pending_.empty())
+    throw std::logic_error("ResultSink::finish: missing case " +
+                           std::to_string(next_emit_));
+  if (ndjson_ != nullptr) ndjson_->flush();
+}
+
+std::size_t ResultSink::cases() const {
+  std::lock_guard lock(mu_);
+  return next_emit_;
+}
+
+void ResultSink::print_summary(std::ostream& os) const {
+  std::lock_guard lock(mu_);
+  util::Table t({"group", "metric", "cases", "min", "mean", "stddev", "max"});
+  for (const GroupSummary& g : groups_) {
+    for (const auto& [name, summary] : g.metrics) {
+      t.add_row({g.group.empty() ? "(all)" : g.group, name,
+                 std::to_string(g.cases), util::fmt(summary.min(), 4),
+                 util::fmt(summary.mean(), 4),
+                 summary.count() > 1 ? util::fmt(summary.stddev(), 4) : "-",
+                 util::fmt(summary.max(), 4)});
+    }
+  }
+  t.print(os);
+}
+
+}  // namespace thinair::runtime

@@ -1,0 +1,79 @@
+#pragma once
+// Streaming result aggregation for sweeps.
+//
+// Workers push CaseResults in completion order; the sink re-serialises
+// them into case-index order through a bounded reorder buffer (a map of
+// out-of-order results plus a next-to-emit cursor) and, per case, (a)
+// writes one NDJSON line to the optional stream and (b) folds the metrics
+// into per-group util::Summary accumulators. Because emission strictly
+// follows case index, both the NDJSON bytes and the accumulator contents
+// are independent of thread count and steal order — this is the second
+// half of the runtime's determinism contract (seeds are the first).
+//
+// Memory: the reorder buffer only holds results that finished ahead of
+// the emission cursor (bounded by in-flight parallelism in practice), and
+// summaries hold one sample per case per metric — never the full result
+// objects.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/scenario.h"
+#include "util/stats.h"
+
+namespace thinair::runtime {
+
+/// Deterministic shortest-round-trip formatting for doubles ("0.25",
+/// "1e-06", ...) — what the NDJSON writer uses for every number.
+[[nodiscard]] std::string format_double(double value);
+
+class ResultSink {
+ public:
+  /// `ndjson` may be nullptr (aggregate only). The stream must outlive
+  /// the sink.
+  ResultSink(std::string scenario_name, std::ostream* ndjson);
+
+  /// Record case `spec` -> `result`. Thread-safe. Each index must be
+  /// pushed exactly once.
+  void push(const CaseSpec& spec, const CaseResult& result);
+
+  /// Flush the stream. Throws std::logic_error if indices emitted so far
+  /// are not the contiguous range [0, cases()) — i.e. a case was lost.
+  void finish();
+
+  /// Cases emitted (== cases pushed once finish() succeeded).
+  [[nodiscard]] std::size_t cases() const;
+
+  struct GroupSummary {
+    std::string group;
+    std::size_t cases = 0;
+    /// Keyed by metric name; samples are in case-index order.
+    std::map<std::string, util::Summary> metrics;
+  };
+
+  /// Summaries in first-appearance (case-index) order.
+  [[nodiscard]] const std::vector<GroupSummary>& summaries() const {
+    return groups_;
+  }
+
+  /// Render the summaries as a fixed-width table (one row per group x
+  /// metric: count, min, mean, stddev, max).
+  void print_summary(std::ostream& os) const;
+
+ private:
+  void emit(const CaseSpec& spec, const CaseResult& result);
+
+  std::string scenario_name_;
+  std::ostream* ndjson_;
+
+  mutable std::mutex mu_;
+  std::size_t next_emit_ = 0;
+  std::map<std::size_t, std::pair<CaseSpec, CaseResult>> pending_;
+  std::vector<GroupSummary> groups_;
+};
+
+}  // namespace thinair::runtime

@@ -1,0 +1,48 @@
+#include "runtime/scenario.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace thinair::runtime {
+
+double metric(const CaseResult& result, const std::string& name) {
+  for (const Metric& m : result.metrics)
+    if (m.name == name) return m.value;
+  throw std::out_of_range("metric: no metric named '" + name + "'");
+}
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+void ScenarioRegistry::add(Scenario scenario) {
+  if (scenario.name.empty())
+    throw std::invalid_argument("ScenarioRegistry: empty name");
+  if (!scenario.plan || !scenario.run)
+    throw std::invalid_argument("ScenarioRegistry: scenario '" +
+                                scenario.name + "' missing plan or run");
+  if (find(scenario.name) != nullptr)
+    throw std::invalid_argument("ScenarioRegistry: duplicate scenario '" +
+                                scenario.name + "'");
+  scenarios_.push_back(std::make_unique<Scenario>(std::move(scenario)));
+}
+
+const Scenario* ScenarioRegistry::find(const std::string& name) const {
+  for (const auto& s : scenarios_)
+    if (s->name == name) return s.get();
+  return nullptr;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::list() const {
+  std::vector<const Scenario*> out;
+  out.reserve(scenarios_.size());
+  for (const auto& s : scenarios_) out.push_back(s.get());
+  std::sort(out.begin(), out.end(),
+            [](const Scenario* a, const Scenario* b) {
+              return a->name < b->name;
+            });
+  return out;
+}
+
+}  // namespace thinair::runtime

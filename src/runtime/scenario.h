@@ -1,0 +1,75 @@
+#pragma once
+// Scenario descriptors and the registry behind `thinair list` / `thinair
+// run`. A Scenario captures a runnable configuration family as data: a
+// name, a SweepPlan factory enumerating its cases, and a case function
+// mapping (index, derived seed, parameter point) to named metrics. The
+// engine (runtime/engine.h) owns scheduling; a scenario's case function
+// must be pure given its CaseSpec — no shared mutable state, no clocks,
+// no global RNG — which is what lets the runtime promise thread-count
+// invariance.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/sweep_plan.h"
+
+namespace thinair::runtime {
+
+/// One case of a sweep, fully determined before execution starts.
+struct CaseSpec {
+  std::size_t index = 0;    // position in the plan, the identity of the case
+  std::uint64_t seed = 0;   // derive_seed(master_seed, index)
+  Params params;            // plan.at(index)
+};
+
+/// One named metric value produced by a case.
+struct Metric {
+  std::string name;
+  double value = 0.0;
+};
+
+struct CaseResult {
+  /// Aggregation key; cases sharing a group are folded into one summary
+  /// row (e.g. "n=3"). Empty = one global group.
+  std::string group;
+  std::vector<Metric> metrics;
+};
+
+/// Value of the metric called `name`; throws std::out_of_range if absent.
+[[nodiscard]] double metric(const CaseResult& result, const std::string& name);
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  std::function<SweepPlan()> plan;
+  std::function<CaseResult(const CaseSpec&)> run;
+};
+
+/// Process-wide scenario registry. Registration is not thread-safe (do it
+/// at startup); lookup is read-only afterwards. Returned pointers stay
+/// valid across later add() calls (scenarios are heap-owned).
+class ScenarioRegistry {
+ public:
+  [[nodiscard]] static ScenarioRegistry& instance();
+
+  /// Throws std::invalid_argument on a duplicate or empty name.
+  void add(Scenario scenario);
+
+  /// nullptr when absent.
+  [[nodiscard]] const Scenario* find(const std::string& name) const;
+
+  /// All scenarios, sorted by name.
+  [[nodiscard]] std::vector<const Scenario*> list() const;
+
+ private:
+  std::vector<std::unique_ptr<Scenario>> scenarios_;
+};
+
+/// Register the built-in paper scenarios (fig1, fig2, headline, ...).
+/// Idempotent; called by the CLI and tests.
+void register_builtin_scenarios();
+
+}  // namespace thinair::runtime

@@ -1,0 +1,16 @@
+#pragma once
+// Built-in scenario definitions: the paper's figures and headline tables
+// expressed as data (SweepPlan + case function) so the engine can run
+// them batched, parallel and deterministic. The bench programs and the
+// `thinair` CLI are both thin shells over these registrations.
+
+#include "runtime/scenario.h"
+
+namespace thinair::runtime {
+
+/// Scenario names registered by register_builtin_scenarios().
+inline constexpr const char* kFig1Scenario = "fig1";
+inline constexpr const char* kFig2Scenario = "fig2";
+inline constexpr const char* kHeadlineScenario = "headline";
+
+}  // namespace thinair::runtime

@@ -1,0 +1,29 @@
+#include "runtime/seed.h"
+
+namespace thinair::runtime {
+
+namespace {
+
+constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+
+// SplitMix64 output mix (Steele, Lea & Flood 2014).
+std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t master_seed, std::uint64_t index) {
+  // State after `index + 1` SplitMix64 steps from `master_seed`; the +1
+  // keeps derive_seed(m, 0) != mix(m), so a case seed never equals the
+  // value a plain SplitMix64(m) seeder would hand out first.
+  return mix(master_seed + (index + 1) * kGolden);
+}
+
+std::uint64_t derive_seed2(std::uint64_t master_seed, std::uint64_t index) {
+  return mix(derive_seed(master_seed, index) + kGolden);
+}
+
+}  // namespace thinair::runtime

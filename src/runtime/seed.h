@@ -1,0 +1,28 @@
+#pragma once
+// Deterministic per-task seed derivation for the scenario runtime.
+//
+// Every case in a sweep gets its own RNG seed derived purely from
+// (master_seed, case_index) — never from execution order — so a sweep
+// produces bit-identical results whether it runs on 1 thread or 64. The
+// derivation is a SplitMix64 stream: the case index advances the state by
+// the 64-bit golden-ratio increment and the output mix decorrelates
+// neighbouring indices (the same construction channel::Rng uses to expand
+// one seed into xoshiro state).
+
+#include <cstdint>
+
+namespace thinair::runtime {
+
+/// Seed for case `index` of a sweep keyed by `master_seed`. Stateless and
+/// collision-resistant across indices; derive_seed(m, i) != 0 is not
+/// guaranteed, but channel::Rng accepts any seed.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t master_seed,
+                                        std::uint64_t index);
+
+/// A second independent stream from the same (master, index) pair, for
+/// cases that need two uncorrelated generators (e.g. a group run and a
+/// unicast baseline inside one case).
+[[nodiscard]] std::uint64_t derive_seed2(std::uint64_t master_seed,
+                                         std::uint64_t index);
+
+}  // namespace thinair::runtime

@@ -1,0 +1,52 @@
+#include "runtime/sweep_plan.h"
+
+#include <stdexcept>
+
+namespace thinair::runtime {
+
+double param(const Params& params, const std::string& name) {
+  for (const Param& p : params)
+    if (p.name == name) return p.value;
+  throw std::out_of_range("param: no parameter named '" + name + "'");
+}
+
+void SweepPlan::add_axis(std::string name, std::vector<double> values) {
+  if (!points_.empty())
+    throw std::logic_error("SweepPlan: cannot mix axes and explicit points");
+  if (values.empty())
+    throw std::invalid_argument("SweepPlan: axis '" + name + "' is empty");
+  for (const Axis& a : axes_)
+    if (a.name == name)
+      throw std::invalid_argument("SweepPlan: duplicate axis '" + name + "'");
+  axes_.push_back(Axis{std::move(name), std::move(values)});
+}
+
+void SweepPlan::add_point(Params point) {
+  if (!axes_.empty())
+    throw std::logic_error("SweepPlan: cannot mix axes and explicit points");
+  points_.push_back(std::move(point));
+}
+
+std::size_t SweepPlan::size() const {
+  if (!points_.empty()) return points_.size();
+  if (axes_.empty()) return 0;
+  std::size_t n = 1;
+  for (const Axis& a : axes_) n *= a.values.size();
+  return n;
+}
+
+Params SweepPlan::at(std::size_t index) const {
+  if (index >= size()) throw std::out_of_range("SweepPlan::at: index");
+  if (!points_.empty()) return points_[index];
+
+  // Mixed-radix decode, last axis fastest-varying.
+  Params out(axes_.size());
+  for (std::size_t i = axes_.size(); i-- > 0;) {
+    const Axis& a = axes_[i];
+    out[i] = Param{a.name, a.values[index % a.values.size()]};
+    index /= a.values.size();
+  }
+  return out;
+}
+
+}  // namespace thinair::runtime

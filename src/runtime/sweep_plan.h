@@ -1,0 +1,61 @@
+#pragma once
+// A SweepPlan describes every case of a parameter sweep as data: either a
+// cartesian product of named axes ("n in {2,3,6,10}" x "p in {0.1..0.9}")
+// or an explicit list of parameter points (for grids whose axes are
+// dependent, e.g. "placement index < placement_count(n)").
+//
+// Cases are addressed by a dense index in [0, size()); the plan decodes an
+// index to its parameter point on demand (mixed-radix for axes), so even
+// million-case sweeps cost no memory to enumerate. The index order is the
+// canonical order: the first axis added varies slowest. Case seeds derive
+// from this index (runtime/seed.h), which is what makes sweeps
+// thread-count-invariant.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace thinair::runtime {
+
+/// One named parameter value. Everything is carried as double — parameter
+/// grids here are sizes, probabilities and enum codes, all exactly
+/// representable.
+struct Param {
+  std::string name;
+  double value = 0.0;
+
+  friend bool operator==(const Param&, const Param&) = default;
+};
+
+using Params = std::vector<Param>;
+
+/// Value of `name` in `params`; throws std::out_of_range when absent.
+[[nodiscard]] double param(const Params& params, const std::string& name);
+
+class SweepPlan {
+ public:
+  /// Append a cartesian axis. Throws if `values` is empty, the name is
+  /// duplicated, or explicit points were already added.
+  void add_axis(std::string name, std::vector<double> values);
+
+  /// Append one explicit case. Throws if axes were already added.
+  void add_point(Params point);
+
+  /// Number of cases: product of axis sizes, or the point count.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Parameter point of case `index` (mixed-radix decode for axes).
+  [[nodiscard]] Params at(std::size_t index) const;
+
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  struct Axis {
+    std::string name;
+    std::vector<double> values;
+  };
+  std::vector<Axis> axes_;
+  std::vector<Params> points_;
+};
+
+}  // namespace thinair::runtime

@@ -1,0 +1,104 @@
+#include "runtime/task_pool.h"
+
+#include <utility>
+
+namespace thinair::runtime {
+
+std::size_t TaskPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+TaskPool::TaskPool(std::size_t threads) {
+  if (threads == 0) threads = hardware_threads();
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    queues_.push_back(std::make_unique<Queue>());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+TaskPool::~TaskPool() {
+  wait_idle();
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void TaskPool::submit(std::function<void()> task) {
+  std::size_t target;
+  {
+    std::lock_guard lock(mu_);
+    target = next_queue_++ % queues_.size();
+    ++unfinished_;
+  }
+  {
+    std::lock_guard lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    // unclaimed_ becomes visible only after the task is actually in its
+    // queue, so a worker woken by the count below is guaranteed to find
+    // it on a scan.
+    std::lock_guard lock(mu_);
+    ++unclaimed_;
+  }
+  wake_.notify_one();
+}
+
+void TaskPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  idle_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+bool TaskPool::try_pop(std::size_t self, std::function<void()>& out) {
+  {  // Own queue first, oldest task (FIFO) — see the header for why.
+    Queue& q = *queues_[self];
+    std::lock_guard lock(q.mu);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  // Steal from siblings, oldest task (FIFO), starting after self so the
+  // victim choice rotates instead of hammering queue 0.
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    Queue& q = *queues_[(self + k) % queues_.size()];
+    std::lock_guard lock(q.mu);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void TaskPool::worker_loop(std::size_t self) {
+  for (;;) {
+    {
+      // Sleep until at least one enqueued task is unclaimed, then claim
+      // it by decrementing. The claim guarantees the scan below finds a
+      // task eventually (claims never exceed enqueued tasks), so no
+      // polling timeout is needed and starved workers cost nothing.
+      std::unique_lock lock(mu_);
+      wake_.wait(lock, [this] { return stop_ || unclaimed_ > 0; });
+      if (stop_) return;
+      --unclaimed_;
+    }
+    std::function<void()> task;
+    // The claimed task is in some queue; a single scan can transiently
+    // miss it (a sibling may pop "ours" while we walk), so retry.
+    while (!try_pop(self, task)) std::this_thread::yield();
+    task();
+    std::lock_guard lock(mu_);
+    if (--unfinished_ == 0) idle_.notify_all();
+  }
+}
+
+}  // namespace thinair::runtime

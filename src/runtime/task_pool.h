@@ -1,0 +1,75 @@
+#pragma once
+// A work-stealing thread pool for embarrassingly parallel sweeps.
+//
+// Fixed worker threads, one run queue per worker. submit() deals tasks
+// round-robin across the queues; a worker pops from the front of its own
+// queue and, when empty, steals from the front of a sibling's. Both ends
+// are FIFO — unlike fork-join pools (own-LIFO for cache warmth), sweep
+// tasks are independent experiments whose results stream through an
+// index-ordered reorder buffer (runtime/result_sink.h), and oldest-first
+// execution keeps completion order close to index order so that buffer
+// stays bounded by in-flight parallelism. Queues are mutex-guarded
+// deques: tasks are whole experiments (milliseconds to seconds), so
+// queue contention is noise and a lock-free Chase-Lev deque would buy
+// nothing.
+//
+// The pool guarantees nothing about execution order — determinism is the
+// caller's job, and the runtime achieves it by deriving each task's seed
+// from its index (runtime/seed.h) and reordering results by index
+// (runtime/result_sink.h), never from arrival order.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace thinair::runtime {
+
+class TaskPool {
+ public:
+  /// Spawn `threads` workers (0 = std::thread::hardware_concurrency()).
+  explicit TaskPool(std::size_t threads = 0);
+
+  /// Drains outstanding work (wait_idle) and joins the workers.
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Enqueue one task. Thread-safe; may be called from inside a task.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t threads() const { return workers_.size(); }
+
+  /// hardware_concurrency(), never 0.
+  [[nodiscard]] static std::size_t hardware_threads();
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_pop(std::size_t self, std::function<void()>& out);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;                  // guards sleeping/waking + counters
+  std::condition_variable wake_;   // workers sleep here when starved
+  std::condition_variable idle_;   // wait_idle sleeps here
+  std::size_t unfinished_ = 0;     // submitted but not yet completed
+  std::size_t unclaimed_ = 0;      // enqueued but not yet popped by anyone
+  std::size_t next_queue_ = 0;     // round-robin submit cursor
+  bool stop_ = false;
+};
+
+}  // namespace thinair::runtime

@@ -1,6 +1,9 @@
 #include "testbed/sweep.h"
 
 #include <stdexcept>
+#include <string>
+
+#include "runtime/engine.h"
 
 namespace thinair::testbed {
 
@@ -8,31 +11,58 @@ SweepResult run_sweep(const SweepConfig& config) {
   if (config.n_min < 2 || config.n_max > 8 || config.n_min > config.n_max)
     throw std::invalid_argument("run_sweep: n range outside [2, 8]");
 
-  SweepResult result;
-  channel::Rng seeder(config.seed);
-
+  // Flatten the (n, placement) grid so every experiment has a dense index
+  // — the runtime derives its seed from that index, which makes the sweep
+  // reproducible at any thread count.
+  std::vector<ExperimentConfig> cases;
   for (std::size_t n = config.n_min; n <= config.n_max; ++n) {
-    SweepRow row;
-    row.n = n;
-    const std::vector<Placement> placements =
-        sample_placements(n, config.max_placements);
-
-    for (const Placement& p : placements) {
+    for (const Placement& p : sample_placements(n, config.max_placements)) {
       ExperimentConfig exp;
       exp.placement = p;
       exp.session = config.session;
       exp.channel = config.channel;
       exp.mac = config.mac;
-      exp.seed = seeder.next_u64();
-
-      const ExperimentResult r = config.unicast_baseline
-                                     ? run_unicast_experiment(exp)
-                                     : run_experiment(exp);
-      row.reliability.add(r.reliability());
-      row.efficiency.add(r.efficiency());
-      row.secret_rate_bps.add(r.secret_rate_bps());
-      ++row.experiments;
+      cases.push_back(std::move(exp));
     }
+  }
+
+  runtime::Scenario scenario;
+  scenario.name = "testbed-sweep";
+  scenario.plan = [&cases] {
+    // The run function indexes `cases` directly, so the plan only needs
+    // to supply the case count (and thereby the seed indices).
+    runtime::SweepPlan plan;
+    for (std::size_t i = 0; i < cases.size(); ++i) plan.add_point({});
+    return plan;
+  };
+  scenario.run = [&cases, &config](const runtime::CaseSpec& spec) {
+    ExperimentConfig exp = cases[spec.index];
+    exp.seed = spec.seed;
+    const ExperimentResult r = config.unicast_baseline
+                                   ? run_unicast_experiment(exp)
+                                   : run_experiment(exp);
+    runtime::CaseResult out;
+    out.group = std::to_string(r.n_terminals);
+    out.metrics = {{"reliability", r.reliability()},
+                   {"efficiency", r.efficiency()},
+                   {"secret_rate_bps", r.secret_rate_bps()}};
+    return out;
+  };
+
+  runtime::ResultSink sink(scenario.name, nullptr);
+  runtime::RunOptions options;
+  options.threads = config.threads;
+  options.master_seed = config.seed;
+  run_scenario(scenario, options, sink);
+
+  SweepResult result;
+  for (const runtime::ResultSink::GroupSummary& g : sink.summaries()) {
+    SweepRow row;
+    row.n = static_cast<std::size_t>(std::stoul(g.group));
+    row.experiments = g.cases;
+    row.reliability = g.metrics.at("reliability");
+    row.efficiency = g.metrics.at("efficiency");
+    row.secret_rate_bps = g.metrics.at("secret_rate_bps");
     result.rows.push_back(std::move(row));
   }
   return result;

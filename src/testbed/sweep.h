@@ -21,6 +21,10 @@ struct SweepConfig {
   net::MacParams mac;
   std::uint64_t seed = 1;
   bool unicast_baseline = false;  // run the Figure-1 baseline instead
+  /// Worker threads for the runtime engine (0 = hardware concurrency).
+  /// Results are bit-identical for every value: each experiment's seed
+  /// derives from (seed, experiment index), never from run order.
+  std::size_t threads = 0;
 };
 
 /// Aggregates for one group size: the four Figure-2 series plus

@@ -1,0 +1,327 @@
+// The scenario runtime: seed derivation, plan expansion, the
+// work-stealing pool, result reordering, and the engine's headline
+// guarantee — a sweep's NDJSON is byte-identical at any thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "channel/rng.h"
+#include "runtime/engine.h"
+#include "runtime/scenarios.h"
+#include "runtime/seed.h"
+#include "runtime/task_pool.h"
+#include "testbed/sweep.h"
+
+namespace thinair::runtime {
+namespace {
+
+// ----------------------------------------------------------------- seeds
+
+TEST(Seed, DeterministicAndDistinct) {
+  EXPECT_EQ(derive_seed(1, 0), derive_seed(1, 0));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(derive_seed(42, i));
+  EXPECT_EQ(seen.size(), 1000u);  // no collisions across indices
+  EXPECT_NE(derive_seed(1, 5), derive_seed(2, 5));  // master matters
+  EXPECT_NE(derive_seed2(1, 5), derive_seed(1, 5));  // second stream differs
+}
+
+TEST(Seed, IndependentOfNeighbours) {
+  // Adjacent indices must not produce correlated low bits (SplitMix's
+  // whole point). Crude check: parity of the seeds is not constant.
+  int ones = 0;
+  for (std::uint64_t i = 0; i < 64; ++i)
+    ones += static_cast<int>(derive_seed(7, i) & 1);
+  EXPECT_GT(ones, 16);
+  EXPECT_LT(ones, 48);
+}
+
+// ------------------------------------------------------------------ plan
+
+TEST(SweepPlan, CartesianExpansion) {
+  SweepPlan plan;
+  plan.add_axis("a", {1, 2, 3});
+  plan.add_axis("b", {10, 20});
+  ASSERT_EQ(plan.size(), 6u);
+  // Last axis fastest-varying.
+  EXPECT_EQ(plan.at(0), (Params{{"a", 1}, {"b", 10}}));
+  EXPECT_EQ(plan.at(1), (Params{{"a", 1}, {"b", 20}}));
+  EXPECT_EQ(plan.at(5), (Params{{"a", 3}, {"b", 20}}));
+  EXPECT_THROW((void)plan.at(6), std::out_of_range);
+}
+
+TEST(SweepPlan, ExplicitPoints) {
+  SweepPlan plan;
+  plan.add_point({{"x", 1}});
+  plan.add_point({{"x", 5}, {"y", 2}});
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_DOUBLE_EQ(param(plan.at(1), "y"), 2.0);
+  EXPECT_THROW(plan.add_axis("z", {1}), std::logic_error);
+}
+
+TEST(SweepPlan, RejectsBadAxes) {
+  SweepPlan plan;
+  EXPECT_THROW(plan.add_axis("a", {}), std::invalid_argument);
+  plan.add_axis("a", {1});
+  EXPECT_THROW(plan.add_axis("a", {2}), std::invalid_argument);
+  EXPECT_THROW(plan.add_point({{"x", 1}}), std::logic_error);
+  EXPECT_THROW((void)param(plan.at(0), "missing"), std::out_of_range);
+  EXPECT_EQ(SweepPlan{}.size(), 0u);
+}
+
+// ------------------------------------------------------------------ pool
+
+TEST(TaskPool, RunsEveryTask) {
+  std::atomic<int> count{0};
+  {
+    TaskPool pool(4);
+    EXPECT_EQ(pool.threads(), 4u);
+    for (int i = 0; i < 500; ++i)
+      pool.submit([&count] { count.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 500);
+  }
+}
+
+TEST(TaskPool, StealsAcrossWorkers) {
+  // All real work lands in a few long tasks; with 4 workers and
+  // round-robin dealing, finishing 64 tasks promptly requires stealing.
+  std::atomic<int> count{0};
+  std::set<std::thread::id> tids;
+  std::mutex mu;
+  {
+    TaskPool pool(4);
+    for (int i = 0; i < 64; ++i)
+      pool.submit([&] {
+        {
+          std::lock_guard lock(mu);
+          tids.insert(std::this_thread::get_id());
+        }
+        count.fetch_add(1);
+      });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(count.load(), 64);
+  EXPECT_GE(tids.size(), 1u);  // >1 on multicore machines; 1-core CI is ok
+}
+
+TEST(TaskPool, SubmitFromInsideATask) {
+  std::atomic<int> count{0};
+  TaskPool pool(2);
+  pool.submit([&] {
+    for (int i = 0; i < 10; ++i) pool.submit([&count] { count.fetch_add(1); });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 10);
+}
+
+// ------------------------------------------------------------------ sink
+
+TEST(ResultSink, ReordersOutOfOrderPushes) {
+  std::ostringstream out;
+  ResultSink sink("s", &out);
+  const auto spec = [](std::size_t i) {
+    return CaseSpec{i, derive_seed(1, i), {{"i", static_cast<double>(i)}}};
+  };
+  const auto result = [](double v) {
+    return CaseResult{"g", {{"m", v}}};
+  };
+  sink.push(spec(2), result(2));
+  EXPECT_TRUE(out.str().empty());  // waiting for 0 and 1
+  sink.push(spec(0), result(0));
+  sink.push(spec(1), result(1));
+  sink.finish();
+  EXPECT_EQ(sink.cases(), 3u);
+
+  std::string line;
+  std::istringstream lines(out.str());
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_NE(line.find("\"index\":" + std::to_string(i)), std::string::npos);
+  }
+  ASSERT_EQ(sink.summaries().size(), 1u);
+  EXPECT_EQ(sink.summaries()[0].cases, 3u);
+  EXPECT_DOUBLE_EQ(sink.summaries()[0].metrics.at("m").mean(), 1.0);
+}
+
+TEST(ResultSink, RejectsDuplicatesAndGaps) {
+  ResultSink sink("s", nullptr);
+  sink.push(CaseSpec{0, 0, {}}, CaseResult{});
+  EXPECT_THROW(sink.push(CaseSpec{0, 0, {}}, CaseResult{}), std::logic_error);
+  sink.push(CaseSpec{2, 0, {}}, CaseResult{});
+  EXPECT_THROW(sink.finish(), std::logic_error);  // case 1 missing
+}
+
+TEST(ResultSink, FormatDoubleRoundTrips) {
+  EXPECT_EQ(format_double(0.25), "0.25");
+  EXPECT_EQ(format_double(1.0), "1");
+  EXPECT_EQ(std::stod(format_double(1.0 / 3.0)), 1.0 / 3.0);
+}
+
+// ---------------------------------------------------------------- engine
+
+// A cheap synthetic scenario: every case draws from its own seeded Rng,
+// so any scheduling leak between cases would change the output.
+Scenario synthetic_scenario(std::size_t cases) {
+  Scenario s;
+  s.name = "synthetic";
+  s.description = "test";
+  s.plan = [cases] {
+    SweepPlan plan;
+    std::vector<double> is(cases);
+    for (std::size_t i = 0; i < cases; ++i) is[i] = static_cast<double>(i);
+    plan.add_axis("i", is);
+    return plan;
+  };
+  s.run = [](const CaseSpec& spec) {
+    channel::Rng rng(spec.seed);
+    CaseResult result;
+    result.group = spec.index % 2 == 0 ? "even" : "odd";
+    result.metrics = {{"u", rng.next_double()},
+                      {"v", static_cast<double>(rng.next_below(1000))}};
+    return result;
+  };
+  return s;
+}
+
+std::string run_to_ndjson(const Scenario& s, std::size_t threads) {
+  std::ostringstream out;
+  ResultSink sink(s.name, &out);
+  RunOptions options;
+  options.threads = threads;
+  options.master_seed = 99;
+  const RunStats stats = run_scenario(s, options, sink);
+  EXPECT_EQ(stats.cases, sink.cases());
+  EXPECT_EQ(stats.threads, threads);
+  return out.str();
+}
+
+TEST(Engine, NdjsonIsByteIdenticalAcrossThreadCounts) {
+  const Scenario s = synthetic_scenario(64);
+  const std::string one = run_to_ndjson(s, 1);
+  EXPECT_EQ(std::count(one.begin(), one.end(), '\n'), 64);
+  EXPECT_EQ(one, run_to_ndjson(s, 8));
+  EXPECT_EQ(one, run_to_ndjson(s, 3));
+}
+
+TEST(Engine, LimitTruncatesThePlan) {
+  const Scenario s = synthetic_scenario(64);
+  ResultSink sink(s.name, nullptr);
+  RunOptions options;
+  options.limit = 5;
+  const RunStats stats = run_scenario(s, options, sink);
+  EXPECT_EQ(stats.cases, 5u);
+  EXPECT_EQ(sink.cases(), 5u);
+}
+
+TEST(Engine, CaseExceptionsPropagate) {
+  Scenario s = synthetic_scenario(8);
+  s.run = [](const CaseSpec& spec) -> CaseResult {
+    if (spec.index == 3) throw std::runtime_error("boom");
+    return CaseResult{};
+  };
+  for (const std::size_t threads : {1u, 4u}) {
+    ResultSink sink(s.name, nullptr);
+    RunOptions options;
+    options.threads = threads;
+    EXPECT_THROW((void)run_scenario(s, options, sink), std::runtime_error);
+  }
+}
+
+TEST(Engine, CollectReturnsCasesInIndexOrder) {
+  const Scenario s = synthetic_scenario(16);
+  RunOptions options;
+  options.threads = 4;
+  options.master_seed = 7;
+  const auto cases = run_scenario_collect(s, options);
+  ASSERT_EQ(cases.size(), 16u);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    EXPECT_EQ(cases[i].first.index, i);
+    EXPECT_EQ(cases[i].first.seed, derive_seed(7, i));
+    EXPECT_DOUBLE_EQ(param(cases[i].first.params, "i"),
+                     static_cast<double>(i));
+  }
+}
+
+// -------------------------------------------------------------- registry
+
+TEST(Registry, BuiltinsRegisterOnceAndList) {
+  register_builtin_scenarios();
+  register_builtin_scenarios();  // idempotent
+  ScenarioRegistry& registry = ScenarioRegistry::instance();
+  ASSERT_NE(registry.find(kFig1Scenario), nullptr);
+  ASSERT_NE(registry.find(kFig2Scenario), nullptr);
+  ASSERT_NE(registry.find(kHeadlineScenario), nullptr);
+  EXPECT_EQ(registry.find("nope"), nullptr);
+  const auto all = registry.list();
+  EXPECT_GE(all.size(), 3u);
+  for (std::size_t i = 1; i < all.size(); ++i)
+    EXPECT_LT(all[i - 1]->name, all[i]->name);  // sorted
+  EXPECT_THROW(registry.add(Scenario{}), std::invalid_argument);
+  Scenario dup;
+  dup.name = kFig1Scenario;
+  dup.plan = [] { return SweepPlan{}; };
+  dup.run = [](const CaseSpec&) { return CaseResult{}; };
+  EXPECT_THROW(registry.add(std::move(dup)), std::invalid_argument);
+}
+
+TEST(Registry, BuiltinPlansAreWellFormed) {
+  register_builtin_scenarios();
+  const ScenarioRegistry& registry = ScenarioRegistry::instance();
+  EXPECT_EQ(registry.find(kFig1Scenario)->plan().size(), 36u);  // 4 n x 9 p
+  EXPECT_EQ(registry.find(kHeadlineScenario)->plan().size(), 1971u);
+  EXPECT_GT(registry.find(kFig2Scenario)->plan().size(), 200u);
+}
+
+// ------------------------------------------------- end-to-end determinism
+
+TEST(Determinism, TestbedSweepMatchesAcrossThreadCounts) {
+  testbed::SweepConfig cfg;
+  cfg.n_min = 3;
+  cfg.n_max = 4;
+  cfg.max_placements = 6;
+  cfg.session.x_packets_per_round = 45;
+  cfg.seed = 11;
+
+  cfg.threads = 1;
+  const testbed::SweepResult one = run_sweep(cfg);
+  cfg.threads = 8;
+  const testbed::SweepResult eight = run_sweep(cfg);
+
+  ASSERT_EQ(one.rows.size(), eight.rows.size());
+  for (std::size_t i = 0; i < one.rows.size(); ++i) {
+    EXPECT_EQ(one.rows[i].n, eight.rows[i].n);
+    EXPECT_EQ(one.rows[i].experiments, eight.rows[i].experiments);
+    // Sample-for-sample identical, not just equal in aggregate.
+    EXPECT_EQ(one.rows[i].reliability.samples(),
+              eight.rows[i].reliability.samples());
+    EXPECT_EQ(one.rows[i].efficiency.samples(),
+              eight.rows[i].efficiency.samples());
+  }
+}
+
+TEST(Determinism, Fig1ScenarioNdjsonStableUnderThreads) {
+  register_builtin_scenarios();
+  const Scenario* fig1 = ScenarioRegistry::instance().find(kFig1Scenario);
+  ASSERT_NE(fig1, nullptr);
+
+  const auto run = [&](std::size_t threads) {
+    std::ostringstream out;
+    ResultSink sink(fig1->name, &out);
+    RunOptions options;
+    options.threads = threads;
+    options.master_seed = 5;
+    options.limit = 6;  // keep the unit test cheap
+    (void)run_scenario(*fig1, options, sink);
+    return out.str();
+  };
+  const std::string one = run(1);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, run(8));
+}
+
+}  // namespace
+}  // namespace thinair::runtime

@@ -1,0 +1,156 @@
+// thinair — the scenario-runtime driver, the single entry point for
+// running the paper's sweeps at scale:
+//
+//   $ thinair list
+//   $ thinair run fig2 --threads 8 --seed 42 --out fig2.ndjson
+//   $ thinair run fig1 --limit 10 --out -
+//
+// `run` executes every case of the named scenario on the work-stealing
+// engine and writes one NDJSON line per case to --out ("-" = stdout),
+// then prints per-group summary aggregates. Output is bit-identical for
+// any --threads value: case seeds derive from (--seed, case index) and
+// rows are emitted in case-index order. Timing goes to stderr so stdout
+// stays byte-comparable across runs.
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "runtime/engine.h"
+#include "runtime/scenarios.h"
+
+namespace {
+
+using namespace thinair;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s list\n"
+               "       %s run SCENARIO [--threads N] [--seed S]\n"
+               "           [--out FILE|-] [--limit K] [--quiet]\n",
+               argv0, argv0);
+  return 2;
+}
+
+int cmd_list() {
+  for (const runtime::Scenario* s :
+       runtime::ScenarioRegistry::instance().list()) {
+    const std::size_t cases = s->plan().size();
+    std::printf("%-10s %6zu cases  %s\n", s->name.c_str(), cases,
+                s->description.c_str());
+  }
+  return 0;
+}
+
+struct RunArgs {
+  std::string scenario;
+  runtime::RunOptions options;
+  std::string out;     // empty = no NDJSON, "-" = stdout
+  bool quiet = false;  // suppress the summary table
+};
+
+/// Strict decimal parse — rejects empty strings and trailing garbage, so
+/// `--seed banana` fails loudly instead of silently running seed 0.
+bool parse_u64(const char* text, std::uint64_t& out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtoull(text, &end, 10);
+  return errno == 0 && *end == '\0';
+}
+
+bool parse_run_args(int argc, char** argv, RunArgs& args) {
+  if (argc < 1) return false;
+  args.scenario = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const auto bad_number = [&flag](const char* v) {
+      std::fprintf(stderr, "%s: not a number: %s\n", flag.c_str(),
+                   v == nullptr ? "(missing)" : v);
+      return false;
+    };
+    if (flag == "--quiet") {
+      args.quiet = true;
+    } else if (flag == "--threads") {
+      std::uint64_t n = 0;
+      const char* v = value();
+      if (!parse_u64(v, n)) return bad_number(v);
+      args.options.threads = n;
+    } else if (flag == "--seed") {
+      const char* v = value();
+      if (!parse_u64(v, args.options.master_seed)) return bad_number(v);
+    } else if (flag == "--limit") {
+      std::uint64_t n = 0;
+      const char* v = value();
+      if (!parse_u64(v, n)) return bad_number(v);
+      args.options.limit = n;
+    } else if (flag == "--out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      args.out = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int cmd_run(const RunArgs& args) {
+  const runtime::Scenario* scenario =
+      runtime::ScenarioRegistry::instance().find(args.scenario);
+  if (scenario == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s' (see `thinair list`)\n",
+                 args.scenario.c_str());
+    return 1;
+  }
+
+  std::ofstream file;
+  std::ostream* ndjson = nullptr;
+  if (args.out == "-") {
+    ndjson = &std::cout;
+  } else if (!args.out.empty()) {
+    file.open(args.out, std::ios::trunc);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", args.out.c_str());
+      return 1;
+    }
+    ndjson = &file;
+  }
+
+  runtime::ResultSink sink(scenario->name, ndjson);
+  const runtime::RunStats stats =
+      runtime::run_scenario(*scenario, args.options, sink);
+
+  if (!args.quiet && ndjson != &std::cout) {
+    std::printf("%s — %s\n\n", scenario->name.c_str(),
+                scenario->description.c_str());
+    sink.print_summary(std::cout);
+  }
+  std::fprintf(stderr, "%zu cases on %zu thread(s) in %.2fs (%.1f cases/s)\n",
+               stats.cases, stats.threads, stats.wall_s, stats.cases_per_s());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  runtime::register_builtin_scenarios();
+
+  const std::string command = argv[1];
+  if (command == "list") return cmd_list();
+  if (command == "run") {
+    RunArgs args;
+    if (!parse_run_args(argc - 2, argv + 2, args)) return usage(argv[0]);
+    return cmd_run(args);
+  }
+  return usage(argv[0]);
+}
