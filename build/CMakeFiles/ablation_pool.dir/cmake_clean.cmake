@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pool.dir/bench/ablation_pool.cpp.o"
+  "CMakeFiles/ablation_pool.dir/bench/ablation_pool.cpp.o.d"
+  "ablation_pool"
+  "ablation_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_adversary_test.dir/tests/active_adversary_test.cpp.o"
+  "CMakeFiles/active_adversary_test.dir/tests/active_adversary_test.cpp.o.d"
+  "active_adversary_test"
+  "active_adversary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_adversary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

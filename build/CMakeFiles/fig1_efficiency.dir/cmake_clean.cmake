@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_efficiency.dir/bench/fig1_efficiency.cpp.o"
+  "CMakeFiles/fig1_efficiency.dir/bench/fig1_efficiency.cpp.o.d"
+  "fig1_efficiency"
+  "fig1_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

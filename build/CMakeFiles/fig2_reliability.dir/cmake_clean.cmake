@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_reliability.dir/bench/fig2_reliability.cpp.o"
+  "CMakeFiles/fig2_reliability.dir/bench/fig2_reliability.cpp.o.d"
+  "fig2_reliability"
+  "fig2_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

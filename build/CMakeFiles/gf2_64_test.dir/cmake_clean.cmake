@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gf2_64_test.dir/tests/gf2_64_test.cpp.o"
+  "CMakeFiles/gf2_64_test.dir/tests/gf2_64_test.cpp.o.d"
+  "gf2_64_test"
+  "gf2_64_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gf2_64_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

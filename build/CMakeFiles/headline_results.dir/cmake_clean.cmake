@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_results.dir/bench/headline_results.cpp.o"
+  "CMakeFiles/headline_results.dir/bench/headline_results.cpp.o.d"
+  "headline_results"
+  "headline_results.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

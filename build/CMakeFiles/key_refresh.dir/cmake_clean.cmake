@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_refresh.dir/examples/key_refresh.cpp.o"
+  "CMakeFiles/key_refresh.dir/examples/key_refresh.cpp.o.d"
+  "key_refresh"
+  "key_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_space_test.dir/tests/linear_space_test.cpp.o"
+  "CMakeFiles/linear_space_test.dir/tests/linear_space_test.cpp.o.d"
+  "linear_space_test"
+  "linear_space_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

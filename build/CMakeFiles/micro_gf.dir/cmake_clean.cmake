@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_gf.dir/bench/micro_gf.cpp.o"
+  "CMakeFiles/micro_gf.dir/bench/micro_gf.cpp.o.d"
+  "micro_gf"
+  "micro_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

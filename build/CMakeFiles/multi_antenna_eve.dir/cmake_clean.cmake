@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_antenna_eve.dir/examples/multi_antenna_eve.cpp.o"
+  "CMakeFiles/multi_antenna_eve.dir/examples/multi_antenna_eve.cpp.o.d"
+  "multi_antenna_eve"
+  "multi_antenna_eve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_antenna_eve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for multi_antenna_eve.
+# This may be replaced when dependencies are built.

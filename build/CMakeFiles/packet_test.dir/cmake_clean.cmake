@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_test.dir/tests/packet_test.cpp.o"
+  "CMakeFiles/packet_test.dir/tests/packet_test.cpp.o.d"
+  "packet_test"
+  "packet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_test.dir/tests/phase_test.cpp.o"
+  "CMakeFiles/phase_test.dir/tests/phase_test.cpp.o.d"
+  "phase_test"
+  "phase_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reception_test.dir/tests/reception_test.cpp.o"
+  "CMakeFiles/reception_test.dir/tests/reception_test.cpp.o.d"
+  "reception_test"
+  "reception_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reception_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/round_test.dir/tests/round_test.cpp.o"
+  "CMakeFiles/round_test.dir/tests/round_test.cpp.o.d"
+  "round_test"
+  "round_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/round_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

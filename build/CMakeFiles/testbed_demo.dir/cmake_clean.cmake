@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testbed_demo.dir/examples/testbed_demo.cpp.o"
+  "CMakeFiles/testbed_demo.dir/examples/testbed_demo.cpp.o.d"
+  "testbed_demo"
+  "testbed_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testbed_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/efficiency.cpp" "CMakeFiles/thinair.dir/src/analysis/efficiency.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/analysis/efficiency.cpp.o.d"
+  "/root/repo/src/analysis/eve_view.cpp" "CMakeFiles/thinair.dir/src/analysis/eve_view.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/analysis/eve_view.cpp.o.d"
+  "/root/repo/src/analysis/leakage.cpp" "CMakeFiles/thinair.dir/src/analysis/leakage.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/analysis/leakage.cpp.o.d"
+  "/root/repo/src/auth/authenticator.cpp" "CMakeFiles/thinair.dir/src/auth/authenticator.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/auth/authenticator.cpp.o.d"
+  "/root/repo/src/auth/onetime_mac.cpp" "CMakeFiles/thinair.dir/src/auth/onetime_mac.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/auth/onetime_mac.cpp.o.d"
+  "/root/repo/src/channel/erasure.cpp" "CMakeFiles/thinair.dir/src/channel/erasure.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/channel/erasure.cpp.o.d"
+  "/root/repo/src/channel/geometry.cpp" "CMakeFiles/thinair.dir/src/channel/geometry.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/channel/geometry.cpp.o.d"
+  "/root/repo/src/channel/interference.cpp" "CMakeFiles/thinair.dir/src/channel/interference.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/channel/interference.cpp.o.d"
+  "/root/repo/src/channel/pathloss.cpp" "CMakeFiles/thinair.dir/src/channel/pathloss.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/channel/pathloss.cpp.o.d"
+  "/root/repo/src/channel/rng.cpp" "CMakeFiles/thinair.dir/src/channel/rng.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/channel/rng.cpp.o.d"
+  "/root/repo/src/channel/sinr.cpp" "CMakeFiles/thinair.dir/src/channel/sinr.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/channel/sinr.cpp.o.d"
+  "/root/repo/src/channel/testbed_channel.cpp" "CMakeFiles/thinair.dir/src/channel/testbed_channel.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/channel/testbed_channel.cpp.o.d"
+  "/root/repo/src/core/estimator.cpp" "CMakeFiles/thinair.dir/src/core/estimator.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/core/estimator.cpp.o.d"
+  "/root/repo/src/core/phase1.cpp" "CMakeFiles/thinair.dir/src/core/phase1.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/core/phase1.cpp.o.d"
+  "/root/repo/src/core/phase2.cpp" "CMakeFiles/thinair.dir/src/core/phase2.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/core/phase2.cpp.o.d"
+  "/root/repo/src/core/pool.cpp" "CMakeFiles/thinair.dir/src/core/pool.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/core/pool.cpp.o.d"
+  "/root/repo/src/core/reception.cpp" "CMakeFiles/thinair.dir/src/core/reception.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/core/reception.cpp.o.d"
+  "/root/repo/src/core/round.cpp" "CMakeFiles/thinair.dir/src/core/round.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/core/round.cpp.o.d"
+  "/root/repo/src/core/secret.cpp" "CMakeFiles/thinair.dir/src/core/secret.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/core/secret.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "CMakeFiles/thinair.dir/src/core/session.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/core/session.cpp.o.d"
+  "/root/repo/src/core/unicast.cpp" "CMakeFiles/thinair.dir/src/core/unicast.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/core/unicast.cpp.o.d"
+  "/root/repo/src/gf/gf256.cpp" "CMakeFiles/thinair.dir/src/gf/gf256.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/gf/gf256.cpp.o.d"
+  "/root/repo/src/gf/gf2_64.cpp" "CMakeFiles/thinair.dir/src/gf/gf2_64.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/gf/gf2_64.cpp.o.d"
+  "/root/repo/src/gf/linear_space.cpp" "CMakeFiles/thinair.dir/src/gf/linear_space.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/gf/linear_space.cpp.o.d"
+  "/root/repo/src/gf/matrix.cpp" "CMakeFiles/thinair.dir/src/gf/matrix.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/gf/matrix.cpp.o.d"
+  "/root/repo/src/gf/mds.cpp" "CMakeFiles/thinair.dir/src/gf/mds.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/gf/mds.cpp.o.d"
+  "/root/repo/src/net/ledger.cpp" "CMakeFiles/thinair.dir/src/net/ledger.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/net/ledger.cpp.o.d"
+  "/root/repo/src/net/medium.cpp" "CMakeFiles/thinair.dir/src/net/medium.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/net/medium.cpp.o.d"
+  "/root/repo/src/net/reliable.cpp" "CMakeFiles/thinair.dir/src/net/reliable.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/net/reliable.cpp.o.d"
+  "/root/repo/src/net/trace.cpp" "CMakeFiles/thinair.dir/src/net/trace.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/net/trace.cpp.o.d"
+  "/root/repo/src/packet/combination.cpp" "CMakeFiles/thinair.dir/src/packet/combination.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/packet/combination.cpp.o.d"
+  "/root/repo/src/packet/packet.cpp" "CMakeFiles/thinair.dir/src/packet/packet.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/packet/packet.cpp.o.d"
+  "/root/repo/src/packet/serialize.cpp" "CMakeFiles/thinair.dir/src/packet/serialize.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/packet/serialize.cpp.o.d"
+  "/root/repo/src/runtime/engine.cpp" "CMakeFiles/thinair.dir/src/runtime/engine.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/runtime/engine.cpp.o.d"
+  "/root/repo/src/runtime/result_sink.cpp" "CMakeFiles/thinair.dir/src/runtime/result_sink.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/runtime/result_sink.cpp.o.d"
+  "/root/repo/src/runtime/scenario.cpp" "CMakeFiles/thinair.dir/src/runtime/scenario.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/runtime/scenario.cpp.o.d"
+  "/root/repo/src/runtime/scenarios.cpp" "CMakeFiles/thinair.dir/src/runtime/scenarios.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/runtime/scenarios.cpp.o.d"
+  "/root/repo/src/runtime/seed.cpp" "CMakeFiles/thinair.dir/src/runtime/seed.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/runtime/seed.cpp.o.d"
+  "/root/repo/src/runtime/sweep_plan.cpp" "CMakeFiles/thinair.dir/src/runtime/sweep_plan.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/runtime/sweep_plan.cpp.o.d"
+  "/root/repo/src/runtime/task_pool.cpp" "CMakeFiles/thinair.dir/src/runtime/task_pool.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/runtime/task_pool.cpp.o.d"
+  "/root/repo/src/testbed/experiment.cpp" "CMakeFiles/thinair.dir/src/testbed/experiment.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/testbed/experiment.cpp.o.d"
+  "/root/repo/src/testbed/layout.cpp" "CMakeFiles/thinair.dir/src/testbed/layout.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/testbed/layout.cpp.o.d"
+  "/root/repo/src/testbed/placements.cpp" "CMakeFiles/thinair.dir/src/testbed/placements.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/testbed/placements.cpp.o.d"
+  "/root/repo/src/testbed/sweep.cpp" "CMakeFiles/thinair.dir/src/testbed/sweep.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/testbed/sweep.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/thinair.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/thinair.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/thinair.dir/src/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thinair_cli.dir/tools/thinair_cli.cpp.o"
+  "CMakeFiles/thinair_cli.dir/tools/thinair_cli.cpp.o.d"
+  "thinair"
+  "thinair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thinair_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thinair_sim.dir/examples/thinair_sim.cpp.o"
+  "CMakeFiles/thinair_sim.dir/examples/thinair_sim.cpp.o.d"
+  "thinair_sim"
+  "thinair_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thinair_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
