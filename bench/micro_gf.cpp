@@ -2,11 +2,23 @@
 // packet combining (axpy), matrix products, rank computation and MDS
 // encoding — the operations that dominate the protocol's CPU time on a
 // real device.
+//
+// Besides the google-benchmark suite, the custom main() times axpy for
+// every registered kernel (gf/kernels.h) at 64 B / 1 KiB / 8 KiB and
+// writes BENCH_gf.json — the perf-trajectory artifact the CI and the
+// ROADMAP track (speedup_1k = best kernel vs the scalar baseline).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
 #include "channel/rng.h"
 #include "gf/gf256.h"
+#include "gf/kernels.h"
 #include "gf/linear_space.h"
 #include "gf/matrix.h"
 #include "gf/mds.h"
@@ -44,6 +56,103 @@ void BM_Gf256Axpy(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_Gf256Axpy)->Arg(100)->Arg(1500)->Arg(65536);
+
+// Per-kernel axpy at the payload sizes the protocol actually moves:
+// one paper payload rounds to 64 B, an MTU-ish 1 KiB, and an 8 KiB
+// aggregate. Registered per registered kernel at runtime.
+void BM_KernelAxpy(benchmark::State& state, const gf::Kernel* kernel,
+                   std::size_t n) {
+  const auto x = random_bytes(n, 1);
+  auto y = random_bytes(n, 2);
+  for (auto _ : state) {
+    kernel->axpy(0x53, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+constexpr std::size_t kKernelPayloadSizes[] = {64, 1024, 8192};
+
+void register_kernel_benchmarks() {
+  for (const gf::Kernel* k : gf::all_kernels())
+    for (const std::size_t n : kKernelPayloadSizes)
+      benchmark::RegisterBenchmark(
+          (std::string("BM_KernelAxpy/") + k->name + "/" + std::to_string(n))
+              .c_str(),
+          [k, n](benchmark::State& s) { BM_KernelAxpy(s, k, n); });
+}
+
+// ------------------------------------------------------ BENCH_gf.json
+// Self-timed (steady_clock) so the artifact does not depend on the
+// benchmark library's reporters: repeat axpy over a buffer until ~40 ms
+// of wall time has elapsed, take GB/s from the total bytes moved.
+
+double measure_axpy_gbps(const gf::Kernel& kernel, std::size_t n) {
+  const auto x = random_bytes(n, 1);
+  auto y = random_bytes(n, 2);
+  const auto run = [&](std::size_t reps) {
+    for (std::size_t i = 0; i < reps; ++i)
+      kernel.axpy(0x53, x.data(), y.data(), n);
+    benchmark::DoNotOptimize(y.data());
+  };
+  run(64);  // warm up tables and caches
+  using clock = std::chrono::steady_clock;
+  std::size_t reps = 256;
+  double best_gbps = 0.0;
+  for (int trial = 0; trial < 3; ++trial) {
+    double elapsed = 0.0;
+    std::size_t done = 0;
+    while (elapsed < 0.04) {
+      const auto t0 = clock::now();
+      run(reps);
+      elapsed +=
+          std::chrono::duration<double>(clock::now() - t0).count();
+      done += reps;
+    }
+    const double gbps =
+        static_cast<double>(done) * static_cast<double>(n) / elapsed / 1e9;
+    if (gbps > best_gbps) best_gbps = gbps;
+  }
+  return best_gbps;
+}
+
+int write_bench_json(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  double scalar_1k = 0.0;
+  double best_1k = 0.0;
+  std::fprintf(f, "{\n  \"bench\": \"micro_gf\",\n  \"op\": \"axpy\",\n");
+  std::fprintf(f, "  \"active_kernel\": \"%s\",\n  \"kernels\": [\n",
+               gf::active_kernel().name);
+  const auto kernels = gf::all_kernels();
+  for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+    const gf::Kernel& k = *kernels[ki];
+    std::fprintf(f, "    {\"name\": \"%s\", \"gb_per_s\": {", k.name);
+    for (std::size_t si = 0; si < std::size(kKernelPayloadSizes); ++si) {
+      const std::size_t n = kKernelPayloadSizes[si];
+      const double gbps = measure_axpy_gbps(k, n);
+      if (n == 1024) {
+        if (std::string_view(k.name) == "scalar") scalar_1k = gbps;
+        if (gbps > best_1k) best_1k = gbps;
+      }
+      std::fprintf(f, "%s\"%zu\": %.3f", si == 0 ? "" : ", ", n, gbps);
+      std::fprintf(stderr, "axpy %-8s %5zu B  %7.3f GB/s\n", k.name, n,
+                   gbps);
+    }
+    std::fprintf(f, "}}%s\n", ki + 1 < kernels.size() ? "," : "");
+  }
+  const double speedup = scalar_1k > 0.0 ? best_1k / scalar_1k : 0.0;
+  std::fprintf(f, "  ],\n  \"speedup_1k_best_vs_scalar\": %.2f\n}\n",
+               speedup);
+  std::fclose(f);
+  std::fprintf(stderr, "1 KiB best-vs-scalar speedup: %.2fx -> %s\n",
+               speedup, path);
+  return 0;
+}
 
 void BM_Gf256Mul(benchmark::State& state) {
   const auto xs = random_bytes(4096, 3);
@@ -107,4 +216,14 @@ BENCHMARK(BM_LinearSpaceInsert)->Arg(90)->Arg(180);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: the google-benchmark suite, then the BENCH_gf.json
+// artifact (path overridable with the BENCH_GF_JSON env var).
+int main(int argc, char** argv) {
+  register_kernel_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const char* path = std::getenv("BENCH_GF_JSON");
+  return write_bench_json(path != nullptr ? path : "BENCH_gf.json");
+}

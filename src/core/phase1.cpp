@@ -12,6 +12,20 @@ Phase1Result run_phase1(const ReceptionTable& table,
   return result;
 }
 
+std::vector<packet::ConstByteSpan> all_y_contents(
+    const YPool& pool, std::span<const packet::ConstByteSpan> x_payloads,
+    std::size_t payload_size, packet::PayloadArena& arena) {
+  if (payload_size == 0)
+    throw std::invalid_argument("all_y_contents: payload_size == 0");
+  if (x_payloads.size() != pool.universe())
+    throw std::invalid_argument("all_y_contents: payload count != universe");
+  std::vector<packet::ConstByteSpan> out;
+  out.reserve(pool.size());
+  for (const YPool::Entry& e : pool.entries())
+    out.push_back(e.combo.apply(x_payloads, payload_size, arena));
+  return out;
+}
+
 std::vector<packet::Payload> all_y_contents(
     const YPool& pool, std::span<const packet::Payload> x_payloads,
     std::size_t payload_size) {
@@ -21,6 +35,35 @@ std::vector<packet::Payload> all_y_contents(
   out.reserve(pool.size());
   for (const YPool::Entry& e : pool.entries())
     out.push_back(e.combo.apply(x_payloads, payload_size));
+  return out;
+}
+
+std::vector<packet::ConstByteSpan> reconstruct_y(
+    const YPool& pool, packet::NodeId terminal,
+    std::span<const packet::ConstByteSpan> x_payloads,
+    std::size_t payload_size, packet::PayloadArena& arena) {
+  if (payload_size == 0)
+    throw std::invalid_argument("reconstruct_y: payload_size == 0");
+  if (x_payloads.size() != pool.universe())
+    throw std::invalid_argument("reconstruct_y: payload count != universe");
+
+  std::vector<packet::ConstByteSpan> out(pool.size());
+  for (std::size_t j = 0; j < pool.size(); ++j) {
+    const YPool::Entry& e = pool.entries()[j];
+    if (!e.audience.contains(terminal)) continue;
+    const packet::ByteSpan y = arena.alloc(payload_size);
+    for (const packet::Term& t : e.combo.terms()) {
+      const packet::ConstByteSpan x = x_payloads[t.index];
+      if (x.empty())
+        throw std::logic_error(
+            "reconstruct_y: terminal in audience but missing an x-packet "
+            "(inconsistent reception report)");
+      if (x.size() != payload_size)
+        throw std::invalid_argument("reconstruct_y: payload size mismatch");
+      gf::axpy(t.coeff, x.data(), y.data(), payload_size);
+    }
+    out[j] = y;
+  }
   return out;
 }
 

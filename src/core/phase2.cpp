@@ -41,6 +41,29 @@ std::vector<packet::Payload> apply_rows(
   return out;
 }
 
+std::vector<packet::ConstByteSpan> apply_rows(
+    const gf::Matrix& rows, std::span<const packet::ConstByteSpan> inputs,
+    std::size_t payload_size, packet::PayloadArena& arena) {
+  if (payload_size == 0)
+    throw std::invalid_argument("apply_rows: payload_size == 0");
+  if (inputs.size() != rows.cols())
+    throw std::invalid_argument("apply_rows: input count mismatch");
+  std::vector<packet::ConstByteSpan> out;
+  out.reserve(rows.rows());
+  for (std::size_t i = 0; i < rows.rows(); ++i) {
+    const packet::ByteSpan p = arena.alloc(payload_size);
+    for (std::size_t j = 0; j < rows.cols(); ++j) {
+      const gf::GF256 coeff = rows.at(i, j);
+      if (coeff.is_zero()) continue;
+      if (inputs[j].size() != payload_size)
+        throw std::invalid_argument("apply_rows: payload size mismatch");
+      gf::axpy(coeff, inputs[j].data(), p.data(), payload_size);
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
 }  // namespace
 
 Phase2Plan plan_phase2(const YPool& pool) {
@@ -75,6 +98,12 @@ std::vector<packet::Payload> make_z_payloads(
     const Phase2Plan& plan, std::span<const packet::Payload> y_contents,
     std::size_t payload_size) {
   return apply_rows(plan.h, y_contents, payload_size);
+}
+
+std::vector<packet::ConstByteSpan> make_z_payloads(
+    const Phase2Plan& plan, std::span<const packet::ConstByteSpan> y_contents,
+    std::size_t payload_size, packet::PayloadArena& arena) {
+  return apply_rows(plan.h, y_contents, payload_size, arena);
 }
 
 std::vector<packet::Payload> recover_all_y(
@@ -138,10 +167,79 @@ std::vector<packet::Payload> recover_all_y(
   return y;
 }
 
+std::vector<packet::ConstByteSpan> recover_all_y(
+    const Phase2Plan& plan, std::span<const packet::ConstByteSpan> own_y,
+    std::span<const packet::ConstByteSpan> z_payloads,
+    std::size_t payload_size, packet::PayloadArena& arena) {
+  if (payload_size == 0)
+    throw std::invalid_argument("recover_all_y: payload_size == 0");
+  const std::size_t m = plan.pool_size;
+  if (own_y.size() != m)
+    throw std::invalid_argument("recover_all_y: own_y size != pool size");
+  if (z_payloads.size() != plan.h.rows())
+    throw std::invalid_argument("recover_all_y: z count mismatch");
+  // Validate every broadcast z-packet (parity with the owning overload),
+  // even though only the first |unknown| rows feed the solve below.
+  for (const packet::ConstByteSpan z : z_payloads)
+    if (z.size() != payload_size)
+      throw std::invalid_argument("recover_all_y: z payload size mismatch");
+
+  std::vector<std::size_t> unknown;
+  for (std::size_t j = 0; j < m; ++j)
+    if (own_y[j].empty()) unknown.push_back(j);
+  if (unknown.size() > plan.h.rows())
+    throw std::invalid_argument(
+        "recover_all_y: more unknowns than z-packets (M_i < L?)");
+
+  std::vector<packet::ConstByteSpan> y(own_y.begin(), own_y.end());
+  if (unknown.empty()) return y;
+
+  // Residual r_i = z_i - sum_{known j} H[i][j] * y_j  =  H[:,unknown] * y_u.
+  // Only the first |unknown| z-rows feed the solve below; skip the rest.
+  std::vector<packet::ByteSpan> residual(unknown.size());
+  for (std::size_t i = 0; i < unknown.size(); ++i) {
+    const packet::ByteSpan r = arena.copy(z_payloads[i]);
+    for (std::size_t j = 0; j < m; ++j) {
+      if (own_y[j].empty()) continue;
+      const gf::GF256 coeff = plan.h.at(i, j);
+      if (!coeff.is_zero())
+        gf::axpy(coeff, own_y[j].data(), r.data(), payload_size);
+    }
+    residual[i] = r;
+  }
+
+  // Solve the square |unknown| x |unknown| subsystem built from the first
+  // |unknown| z-rows (any such subset of Vandermonde rows 0..M-L-1
+  // restricted to |unknown| columns is invertible).
+  std::vector<std::size_t> rows_used(unknown.size());
+  for (std::size_t i = 0; i < unknown.size(); ++i) rows_used[i] = i;
+  const gf::Matrix sub = plan.h.select_rows(rows_used).select_columns(unknown);
+  const auto inv = sub.inverse();
+  if (!inv.has_value())
+    throw std::logic_error("recover_all_y: repair system singular");
+
+  for (std::size_t u = 0; u < unknown.size(); ++u) {
+    const packet::ByteSpan p = arena.alloc(payload_size);
+    for (std::size_t i = 0; i < unknown.size(); ++i) {
+      const gf::GF256 coeff = inv->at(u, i);
+      if (!coeff.is_zero())
+        gf::axpy(coeff, residual[i].data(), p.data(), payload_size);
+    }
+    y[unknown[u]] = p;
+  }
+  return y;
+}
+
 std::vector<packet::Payload> make_s_payloads(
     const Phase2Plan& plan, std::span<const packet::Payload> y_contents,
     std::size_t payload_size) {
   return apply_rows(plan.c, y_contents, payload_size);
+}
+
+std::vector<packet::ConstByteSpan> make_s_payloads(
+    const Phase2Plan& plan, std::span<const packet::ConstByteSpan> y_contents,
+    std::size_t payload_size, packet::PayloadArena& arena) {
+  return apply_rows(plan.c, y_contents, payload_size, arena);
 }
 
 }  // namespace thinair::core

@@ -25,6 +25,7 @@
 
 #include "core/pool.h"
 #include "gf/matrix.h"
+#include "packet/arena.h"
 #include "packet/serialize.h"
 
 namespace thinair::core {
@@ -46,6 +47,11 @@ struct Phase2Plan {
     const Phase2Plan& plan, std::span<const packet::Payload> y_contents,
     std::size_t payload_size);
 
+/// Arena path: one span per z-packet, carved from `arena`.
+[[nodiscard]] std::vector<packet::ConstByteSpan> make_z_payloads(
+    const Phase2Plan& plan, std::span<const packet::ConstByteSpan> y_contents,
+    std::size_t payload_size, packet::PayloadArena& arena);
+
 /// Terminal's side of step 2: combine its reconstructed y-packets with the
 /// broadcast z-contents to recover the full y vector. `own_y` is the
 /// output of reconstruct_y(). Throws when the inputs are inconsistent
@@ -55,11 +61,25 @@ struct Phase2Plan {
     std::span<const std::optional<packet::Payload>> own_y,
     std::span<const packet::Payload> z_payloads, std::size_t payload_size);
 
+/// Arena path: `own_y` uses empty spans for the y-packets the terminal
+/// could not reconstruct (reconstruct_y's arena convention). The returned
+/// views alias `own_y` where it was known and fresh arena spans where the
+/// packet had to be repaired.
+[[nodiscard]] std::vector<packet::ConstByteSpan> recover_all_y(
+    const Phase2Plan& plan, std::span<const packet::ConstByteSpan> own_y,
+    std::span<const packet::ConstByteSpan> z_payloads,
+    std::size_t payload_size, packet::PayloadArena& arena);
+
 /// Steps 3/4: evaluate the s-packets (both sides run this once they hold
 /// every y-packet). The group secret is the concatenation of the result.
 [[nodiscard]] std::vector<packet::Payload> make_s_payloads(
     const Phase2Plan& plan, std::span<const packet::Payload> y_contents,
     std::size_t payload_size);
+
+/// Arena path: one span per s-packet, carved from `arena`.
+[[nodiscard]] std::vector<packet::ConstByteSpan> make_s_payloads(
+    const Phase2Plan& plan, std::span<const packet::ConstByteSpan> y_contents,
+    std::size_t payload_size, packet::PayloadArena& arena);
 
 /// Secret bits produced by this plan for a given payload size.
 [[nodiscard]] inline std::size_t secret_bits(const Phase2Plan& plan,

@@ -1,5 +1,7 @@
 #include "core/round.h"
 
+#include <stdexcept>
+
 #include "channel/interference.h"
 #include "net/reliable.h"
 #include "packet/serialize.h"
@@ -8,7 +10,10 @@ namespace thinair::core {
 
 RoundContext open_round(net::Medium& medium, packet::NodeId alice,
                         packet::RoundId round, std::size_t n,
-                        std::size_t payload_bytes) {
+                        std::size_t payload_bytes,
+                        packet::PayloadArena& arena) {
+  if (payload_bytes == 0)
+    throw std::invalid_argument("open_round: payload_bytes == 0");
   const auto terminals = medium.terminals();
   const auto eavesdroppers = medium.eavesdroppers();
 
@@ -19,21 +24,20 @@ RoundContext open_round(net::Medium& medium, packet::NodeId alice,
   RoundContext ctx{
       .alice = alice,
       .receivers = receivers,
-      .x_payloads = std::vector<packet::Payload>(n),
-      .rx_payloads = std::vector<std::vector<std::optional<packet::Payload>>>(
-          receivers.size(),
-          std::vector<std::optional<packet::Payload>>(n, std::nullopt)),
+      .x_payloads = std::vector<packet::ConstByteSpan>(n),
+      .rx_payloads = std::vector<std::vector<packet::ConstByteSpan>>(
+          receivers.size(), std::vector<packet::ConstByteSpan>(n)),
       .rx_indices = std::vector<std::vector<std::uint32_t>>(receivers.size()),
       .eve_indices = {},
       .slot_of = std::vector<std::size_t>(n, 0),
       .table = ReceptionTable(alice, receivers, n),
   };
 
-  // Step 1: N random payloads, broadcast once each. The frame is built in
-  // one Packet whose payload buffer is reused across all N transmissions
-  // (assign() recycles its capacity) — this loop dominates every
-  // experiment, and a fresh std::vector per x-packet showed up in the
-  // protocol microbench.
+  // Step 1: N random payloads, broadcast once each. Payload bytes are
+  // carved from the round arena (one bump per packet, contiguous across
+  // the round); the frame reuses one Packet whose payload buffer keeps
+  // its capacity across all N transmissions — this loop dominates every
+  // experiment.
   packet::Packet pkt{.kind = packet::Kind::kData,
                      .source = alice,
                      .round = round,
@@ -41,9 +45,9 @@ RoundContext open_round(net::Medium& medium, packet::NodeId alice,
                      .payload = {}};
   pkt.payload.reserve(payload_bytes);
   for (std::uint32_t i = 0; i < n; ++i) {
-    packet::Payload& body = ctx.x_payloads[i];
-    body.resize(payload_bytes);
-    for (auto& b : body) b = medium.rng().next_byte();
+    const packet::ByteSpan body = arena.alloc_uninit(payload_bytes);
+    for (std::uint8_t& b : body) b = medium.rng().next_byte();
+    ctx.x_payloads[i] = body;
 
     pkt.seq = packet::PacketSeq{i};
     pkt.payload.assign(body.begin(), body.end());

@@ -3,21 +3,29 @@
 // broadcasts N random x-packets over the lossy channel and every other
 // terminal reliably reports what it received. Shared by the group
 // algorithm (session.h) and the unicast baseline (unicast.h).
+//
+// All round payloads live in a caller-provided PayloadArena: the N
+// x-payloads are carved out of one contiguous region and every
+// receiver's view is a span aliasing that same storage (a receiver used
+// to hold a deep copy of each payload it heard — n_receivers * N * 100 B
+// of churn per round). The context stays valid until the arena is reset.
 
-#include <optional>
 #include <vector>
 
 #include "core/reception.h"
 #include "net/medium.h"
+#include "packet/arena.h"
 
 namespace thinair::core {
 
 struct RoundContext {
   packet::NodeId alice;
-  std::vector<packet::NodeId> receivers;    // terminals other than Alice
-  std::vector<packet::Payload> x_payloads;  // all N, as Alice sent them
-  // Per receiver: the payloads it actually received (nullopt = missed).
-  std::vector<std::vector<std::optional<packet::Payload>>> rx_payloads;
+  std::vector<packet::NodeId> receivers;  // terminals other than Alice
+  // All N x-payloads as Alice sent them, backed by the round arena.
+  std::vector<packet::ConstByteSpan> x_payloads;
+  // Per receiver, aligned with x index: a view of the payload it received,
+  // or an empty span for a miss. Views alias x_payloads' storage.
+  std::vector<std::vector<packet::ConstByteSpan>> rx_payloads;
   std::vector<std::vector<std::uint32_t>> rx_indices;
   std::vector<std::uint32_t> eve_indices;  // union over eavesdroppers
   std::vector<std::size_t> slot_of;  // interference slot of each x-packet
@@ -27,9 +35,11 @@ struct RoundContext {
 /// Run steps 1-2 on the medium: transmit the x-packets (kData), collect
 /// per-node receptions, and reliably broadcast every receiver's report
 /// (kControl). Returns the full bookkeeping for the rest of the round.
+/// Requires payload_bytes > 0 (an empty span encodes "missed").
 [[nodiscard]] RoundContext open_round(net::Medium& medium,
                                       packet::NodeId alice,
                                       packet::RoundId round, std::size_t n,
-                                      std::size_t payload_bytes);
+                                      std::size_t payload_bytes,
+                                      packet::PayloadArena& arena);
 
 }  // namespace thinair::core

@@ -1,5 +1,6 @@
 #include "core/session.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "analysis/eve_view.h"
@@ -79,8 +80,14 @@ RoundOutcome GroupSecretSession::run_round(packet::NodeId alice,
   const std::size_t n = config_.x_packets_per_round;
   const std::size_t payload = config_.payload_bytes;
 
+  // All round payloads live in the arena; everything a later round needs
+  // is copied out (the secret bytes, the outcome counters), so the round
+  // boundary is the natural reclamation point.
+  packet::PayloadArena& arena = this->arena();
+  arena.reset();
+
   // Phase 1, steps 1-2.
-  const RoundContext ctx = open_round(medium_, alice, round, n, payload);
+  const RoundContext ctx = open_round(medium_, alice, round, n, payload, arena);
 
   // Phase 1, steps 3-4: the y-pool and its public identities.
   std::vector<std::size_t> receiver_cells;
@@ -105,17 +112,18 @@ RoundOutcome GroupSecretSession::run_round(packet::NodeId alice,
 
   // Phase 2: z-packets (contents) and s-packet identities.
   const Phase2Plan plan = plan_phase2(pool);
-  const std::vector<packet::Payload> y_contents =
-      all_y_contents(pool, ctx.x_payloads, payload);
-  const std::vector<packet::Payload> z_payloads =
-      make_z_payloads(plan, y_contents, payload);
+  const std::vector<packet::ConstByteSpan> y_contents =
+      all_y_contents(pool, ctx.x_payloads, payload, arena);
+  const std::vector<packet::ConstByteSpan> z_payloads =
+      make_z_payloads(plan, y_contents, payload, arena);
 
   for (std::size_t zi = 0; zi < z_payloads.size(); ++zi) {
     packet::Packet pkt{.kind = packet::Kind::kCoded,
                        .source = alice,
                        .round = round,
                        .seq = packet::PacketSeq{static_cast<std::uint32_t>(zi)},
-                       .payload = z_payloads[zi]};
+                       .payload = packet::Payload(z_payloads[zi].begin(),
+                                                  z_payloads[zi].end())};
     net::reliable_broadcast(medium_, alice, pkt, net::TrafficClass::kCoded);
   }
   if (plan.group_size > 0) {
@@ -127,20 +135,34 @@ RoundOutcome GroupSecretSession::run_round(packet::NodeId alice,
     net::reliable_broadcast(medium_, alice, pkt, net::TrafficClass::kControl);
   }
 
-  const std::vector<packet::Payload> s_payloads =
-      plan.group_size > 0 ? make_s_payloads(plan, y_contents, payload)
-                          : std::vector<packet::Payload>{};
+  const std::vector<packet::ConstByteSpan> s_payloads =
+      plan.group_size > 0
+          ? make_s_payloads(plan, y_contents, payload, arena)
+          : std::vector<packet::ConstByteSpan>{};
 
   // Every receiver decodes the secret for real and must agree with Alice.
+  // Per-receiver scratch is rewound after each check so the round's peak
+  // footprint stays one receiver deep.
   if (plan.group_size > 0) {
+    const auto spans_equal = [](std::span<const packet::ConstByteSpan> a,
+                                std::span<const packet::ConstByteSpan> b) {
+      if (a.size() != b.size()) return false;
+      for (std::size_t i = 0; i < a.size(); ++i)
+        if (!std::equal(a[i].begin(), a[i].end(), b[i].begin(), b[i].end()))
+          return false;
+      return true;
+    };
     for (std::size_t ri = 0; ri < ctx.receivers.size(); ++ri) {
-      const auto own_y =
-          reconstruct_y(pool, ctx.receivers[ri], ctx.rx_payloads[ri], payload);
-      const auto full_y = recover_all_y(plan, own_y, z_payloads, payload);
-      const auto own_s = make_s_payloads(plan, full_y, payload);
-      if (own_s != s_payloads)
+      const packet::PayloadArena::Mark mark = arena.mark();
+      const auto own_y = reconstruct_y(pool, ctx.receivers[ri],
+                                       ctx.rx_payloads[ri], payload, arena);
+      const auto full_y =
+          recover_all_y(plan, own_y, z_payloads, payload, arena);
+      const auto own_s = make_s_payloads(plan, full_y, payload, arena);
+      if (!spans_equal(own_s, s_payloads))
         throw std::logic_error(
             "GroupSecretSession: terminal decoded a different secret");
+      arena.rewind(mark);
     }
   }
 
@@ -164,7 +186,7 @@ RoundOutcome GroupSecretSession::run_round(packet::NodeId alice,
       plan.group_size > 0 ? plan.c.mul(g) : gf::Matrix(0, n);
   outcome.leakage = analysis::compute_leakage(eve, secret_rows);
 
-  for (const packet::Payload& s : s_payloads)
+  for (const packet::ConstByteSpan s : s_payloads)
     result.secret.insert(result.secret.end(), s.begin(), s.end());
 
   return outcome;

@@ -37,6 +37,12 @@ struct SessionConfig {
   bool rotate_alice = true;      // Sec. 3.2's worst-case avoidance
   EstimatorSpec estimator;       // Sec. 3.3 strategy (default loo-fraction)
   PoolStrategy pool_strategy = PoolStrategy::kClassShared;
+  /// Backing storage for all round payloads. When set, the session resets
+  /// and reuses it at every round boundary (so a sweep worker running
+  /// thousands of sessions allocates its payload memory once); the arena
+  /// must outlive the session and not be shared with a concurrently
+  /// running one. When null the session owns a private arena.
+  packet::PayloadArena* arena = nullptr;
 };
 
 /// Outcome of a single round.
@@ -96,8 +102,13 @@ class GroupSecretSession {
   RoundOutcome run_round(packet::NodeId alice, packet::RoundId round,
                          SessionResult& result);
 
+  [[nodiscard]] packet::PayloadArena& arena() {
+    return config_.arena != nullptr ? *config_.arena : owned_arena_;
+  }
+
   net::Medium& medium_;
   SessionConfig config_;
+  packet::PayloadArena owned_arena_;  // used when config_.arena is null
   std::uint32_t next_round_ = 0;
 };
 

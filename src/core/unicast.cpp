@@ -1,6 +1,9 @@
 #include "core/unicast.h"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "gf/kernels.h"
 
 #include "analysis/eve_view.h"
 #include "net/reliable.h"
@@ -45,8 +48,12 @@ RoundOutcome UnicastSession::run_round(packet::NodeId alice,
   const std::size_t n = config_.x_packets_per_round;
   const std::size_t payload = config_.payload_bytes;
 
+  packet::PayloadArena& arena = this->arena();
+  arena.reset();
+
   // Phase 1 is identical to the group algorithm.
-  const RoundContext ctx = open_round(medium_, alice, round, n, payload);
+  const RoundContext ctx =
+      open_round(medium_, alice, round, n, payload, arena);
   std::vector<std::size_t> receiver_cells;
   if (!config_.estimator.occupied_cells.empty())
     for (packet::NodeId r : ctx.receivers)
@@ -110,8 +117,8 @@ RoundOutcome UnicastSession::run_round(packet::NodeId alice,
     return outcome;
   }
 
-  const std::vector<packet::Payload> y_contents =
-      all_y_contents(pool, ctx.x_payloads, payload);
+  const std::vector<packet::ConstByteSpan> y_contents =
+      all_y_contents(pool, ctx.x_payloads, payload, arena);
 
   const auto secret_indices_of = [&](std::size_t ri) {
     auto rows = assigned[ri];
@@ -120,7 +127,7 @@ RoundOutcome UnicastSession::run_round(packet::NodeId alice,
   };
 
   const std::vector<std::size_t> group_idx = secret_indices_of(0);
-  std::vector<packet::Payload> s_payloads;
+  std::vector<packet::ConstByteSpan> s_payloads;
   s_payloads.reserve(l);
   for (std::size_t j : group_idx) s_payloads.push_back(y_contents[j]);
 
@@ -135,8 +142,8 @@ RoundOutcome UnicastSession::run_round(packet::NodeId alice,
     const std::vector<std::size_t> pad_idx = secret_indices_of(ri);
     gf::Matrix cipher_rows(l, n);
     for (std::size_t j = 0; j < l; ++j) {
-      packet::Payload body = s_payloads[j];
-      gf::axpy(gf::kOne, y_contents[pad_idx[j]].data(), body.data(), payload);
+      packet::Payload body(s_payloads[j].begin(), s_payloads[j].end());
+      gf::xor_into(y_contents[pad_idx[j]].data(), body.data(), payload);
 
       for (std::size_t c = 0; c < n; ++c)
         cipher_rows.set(j, c,
@@ -155,27 +162,30 @@ RoundOutcome UnicastSession::run_round(packet::NodeId alice,
   }
 
   // Verification: each receiver strips its pad and must obtain the secret.
+  // Per-receiver reconstruction scratch is rewound once checked.
   for (std::size_t ri = 1; ri < ctx.receivers.size(); ++ri) {
-    const auto own_y =
-        reconstruct_y(pool, ctx.receivers[ri], ctx.rx_payloads[ri], payload);
+    const packet::PayloadArena::Mark mark = arena.mark();
+    const auto own_y = reconstruct_y(pool, ctx.receivers[ri],
+                                     ctx.rx_payloads[ri], payload, arena);
     const std::vector<std::size_t> pad_idx = secret_indices_of(ri);
     for (std::size_t j = 0; j < l; ++j) {
       // Ciphertext as transmitted:
-      packet::Payload cipher = s_payloads[j];
-      gf::axpy(gf::kOne, y_contents[pad_idx[j]].data(), cipher.data(),
-               payload);
+      const packet::ByteSpan cipher = arena.copy(s_payloads[j]);
+      gf::xor_into(y_contents[pad_idx[j]].data(), cipher.data(), payload);
       // Receiver-side decryption with its reconstructed pad:
-      if (!own_y[pad_idx[j]].has_value())
+      if (own_y[pad_idx[j]].empty())
         throw std::logic_error("UnicastSession: receiver lacks its pad");
-      gf::axpy(gf::kOne, own_y[pad_idx[j]]->data(), cipher.data(), payload);
-      if (cipher != s_payloads[j])
+      gf::xor_into(own_y[pad_idx[j]].data(), cipher.data(), payload);
+      if (!std::equal(cipher.begin(), cipher.end(), s_payloads[j].begin(),
+                      s_payloads[j].end()))
         throw std::logic_error(
             "UnicastSession: receiver decoded a different secret");
     }
+    arena.rewind(mark);
   }
 
   outcome.leakage = analysis::compute_leakage(eve, secret_rows);
-  for (const packet::Payload& s : s_payloads)
+  for (const packet::ConstByteSpan s : s_payloads)
     result.secret.insert(result.secret.end(), s.begin(), s.end());
   return outcome;
 }

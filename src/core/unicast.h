@@ -29,8 +29,13 @@ class UnicastSession {
   RoundOutcome run_round(packet::NodeId alice, packet::RoundId round,
                          SessionResult& result);
 
+  [[nodiscard]] packet::PayloadArena& arena() {
+    return config_.arena != nullptr ? *config_.arena : owned_arena_;
+  }
+
   net::Medium& medium_;
   SessionConfig config_;
+  packet::PayloadArena owned_arena_;  // used when config_.arena is null
   std::uint32_t next_round_ = 0;
 };
 

@@ -2,37 +2,24 @@
 
 #include <ostream>
 
+#include "gf/kernels.h"
+
 namespace thinair::gf {
 
 std::ostream& operator<<(std::ostream& os, GF256 v) {
   return os << "g" << static_cast<unsigned>(v.value());
 }
 
+// The bulk span primitives dispatch through the retargetable kernel layer
+// (gf/kernels.h): scalar log/exp, portable 64-bit SWAR, or pshufb SIMD,
+// chosen at runtime. All kernels compute identical bytes.
+
 void axpy(GF256 c, const std::uint8_t* x, std::uint8_t* y, std::size_t n) {
-  if (c.is_zero()) return;
-  if (c == kOne) {
-    for (std::size_t i = 0; i < n; ++i) y[i] ^= x[i];
-    return;
-  }
-  const unsigned lc = detail::kTables.log_[c.value()];
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::uint8_t xv = x[i];
-    if (xv != 0) y[i] ^= detail::kTables.exp_[lc + detail::kTables.log_[xv]];
-  }
+  active_kernel().axpy(c.value(), x, y, n);
 }
 
 void scale(GF256 c, std::uint8_t* y, std::size_t n) {
-  if (c == kOne) return;
-  if (c.is_zero()) {
-    for (std::size_t i = 0; i < n; ++i) y[i] = 0;
-    return;
-  }
-  const unsigned lc = detail::kTables.log_[c.value()];
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::uint8_t yv = y[i];
-    y[i] = yv == 0 ? std::uint8_t{0}
-                   : detail::kTables.exp_[lc + detail::kTables.log_[yv]];
-  }
+  active_kernel().mul_row(c.value(), y, y, n);
 }
 
 }  // namespace thinair::gf

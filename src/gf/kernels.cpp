@@ -1,0 +1,385 @@
+#include "gf/kernels.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#if defined(__x86_64__) || defined(__i386__)
+#if defined(__GNUC__) || defined(__clang__)
+#define THINAIR_GF_X86_SIMD 1
+#include <immintrin.h>
+#endif
+#endif
+
+namespace thinair::gf {
+
+namespace {
+
+using detail::kTables;
+
+// ------------------------------------------------------------- scalar
+// The original byte-at-a-time log/exp loops (moved here from gf256.cpp).
+// Baseline for the differential tests and the portable fallback for the
+// word kernels' tails.
+
+void scalar_axpy(std::uint8_t c, const std::uint8_t* x, std::uint8_t* y,
+                 std::size_t n) {
+  if (c == 0) return;
+  if (c == 1) {
+    for (std::size_t i = 0; i < n; ++i) y[i] ^= x[i];
+    return;
+  }
+  const unsigned lc = kTables.log_[c];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t xv = x[i];
+    if (xv != 0) y[i] ^= kTables.exp_[lc + kTables.log_[xv]];
+  }
+}
+
+void scalar_mul_row(std::uint8_t c, const std::uint8_t* x, std::uint8_t* y,
+                    std::size_t n) {
+  if (c == 0) {
+    std::memset(y, 0, n);
+    return;
+  }
+  if (c == 1) {
+    if (x != y) std::memcpy(y, x, n);
+    return;
+  }
+  const unsigned lc = kTables.log_[c];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t xv = x[i];
+    y[i] = xv == 0 ? std::uint8_t{0} : kTables.exp_[lc + kTables.log_[xv]];
+  }
+}
+
+void scalar_xor_into(const std::uint8_t* x, std::uint8_t* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] ^= x[i];
+}
+
+// ----------------------------------------------------------- portable
+// 64-bit SWAR: eight field elements per machine word, bit-sliced over the
+// *input* bits. Multiplication by c is GF(2)-linear, so
+//   c * x = XOR over set bits k of x of (c * alpha^k)
+// and the eight per-bit contributions c * alpha^k are computed once per
+// call with a scalar xtime ladder (0x1D is the low byte of the primitive
+// polynomial 0x11D). Per word the loop is branch-free: isolate bit k of
+// every lane ((v >> k) & 0x01...), multiply by the contribution byte
+// (0x01 * t = t, no cross-lane carries), accumulate with XOR.
+
+struct BitTable {
+  std::uint8_t t[8];  // t[k] = c * alpha^k
+};
+
+inline BitTable make_bit_table(std::uint8_t c) {
+  BitTable bt;
+  std::uint8_t t = c;
+  for (int k = 0; k < 8; ++k) {
+    bt.t[k] = t;
+    t = static_cast<std::uint8_t>((t << 1) ^ ((t & 0x80) != 0 ? 0x1D : 0));
+  }
+  return bt;
+}
+
+inline std::uint64_t mul64(std::uint64_t v, const BitTable& bt) {
+  constexpr std::uint64_t kLsb = 0x0101010101010101ull;
+  std::uint64_t acc = 0;
+  for (int k = 0; k < 8; ++k) acc ^= ((v >> k) & kLsb) * bt.t[k];
+  return acc;
+}
+
+inline std::uint64_t load64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void store64(std::uint8_t* p, std::uint64_t v) {
+  std::memcpy(p, &v, sizeof(v));
+}
+
+void portable_axpy(std::uint8_t c, const std::uint8_t* x, std::uint8_t* y,
+                   std::size_t n) {
+  if (c == 0) return;
+  std::size_t i = 0;
+  if (c == 1) {
+    for (; i + 8 <= n; i += 8) store64(y + i, load64(y + i) ^ load64(x + i));
+  } else {
+    const BitTable bt = make_bit_table(c);
+    for (; i + 8 <= n; i += 8)
+      store64(y + i, load64(y + i) ^ mul64(load64(x + i), bt));
+  }
+  scalar_axpy(c, x + i, y + i, n - i);
+}
+
+void portable_mul_row(std::uint8_t c, const std::uint8_t* x, std::uint8_t* y,
+                      std::size_t n) {
+  if (c == 0) {
+    std::memset(y, 0, n);
+    return;
+  }
+  if (c == 1) {
+    if (x != y) std::memmove(y, x, n);
+    return;
+  }
+  const BitTable bt = make_bit_table(c);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) store64(y + i, mul64(load64(x + i), bt));
+  scalar_mul_row(c, x + i, y + i, n - i);
+}
+
+void portable_xor_into(const std::uint8_t* x, std::uint8_t* y, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) store64(y + i, load64(y + i) ^ load64(x + i));
+  for (; i < n; ++i) y[i] ^= x[i];
+}
+
+constexpr Kernel kScalar{"scalar", scalar_axpy, scalar_mul_row,
+                         scalar_xor_into};
+constexpr Kernel kPortable{"portable", portable_axpy, portable_mul_row,
+                           portable_xor_into};
+
+// --------------------------------------------------------------- SIMD
+// ISA-L-style split-nibble tables: for every constant c two 16-entry
+// tables give c * low_nibble and c * (high_nibble << 4); the product of a
+// full byte is their XOR (multiplication by c is linear over GF(2)).
+// `pshufb` performs 16 (SSSE3) or 2 x 16 (AVX2) of those lookups per
+// instruction.
+
+#ifdef THINAIR_GF_X86_SIMD
+
+struct NibbleTables {
+  alignas(16) std::uint8_t lo[256][16];
+  alignas(16) std::uint8_t hi[256][16];
+};
+
+consteval NibbleTables make_nibble_tables() {
+  NibbleTables t{};
+  for (unsigned c = 0; c < 256; ++c)
+    for (unsigned i = 0; i < 16; ++i) {
+      t.lo[c][i] = (GF256(static_cast<std::uint8_t>(c)) *
+                    GF256(static_cast<std::uint8_t>(i)))
+                       .value();
+      t.hi[c][i] = (GF256(static_cast<std::uint8_t>(c)) *
+                    GF256(static_cast<std::uint8_t>(i << 4)))
+                       .value();
+    }
+  return t;
+}
+
+constexpr NibbleTables kNibble = make_nibble_tables();
+
+__attribute__((target("ssse3"))) inline __m128i mul16(__m128i v, __m128i lo,
+                                                      __m128i hi,
+                                                      __m128i mask) {
+  const __m128i l = _mm_shuffle_epi8(lo, _mm_and_si128(v, mask));
+  const __m128i h =
+      _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(v, 4), mask));
+  return _mm_xor_si128(l, h);
+}
+
+__attribute__((target("ssse3"))) void ssse3_axpy(std::uint8_t c,
+                                                 const std::uint8_t* x,
+                                                 std::uint8_t* y,
+                                                 std::size_t n) {
+  if (c == 0) return;
+  const __m128i lo =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(kNibble.lo[c]));
+  const __m128i hi =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(kNibble.hi[c]));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + i));
+    const __m128i o = _mm_loadu_si128(reinterpret_cast<const __m128i*>(y + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(y + i),
+                     _mm_xor_si128(o, mul16(v, lo, hi, mask)));
+  }
+  scalar_axpy(c, x + i, y + i, n - i);
+}
+
+__attribute__((target("ssse3"))) void ssse3_mul_row(std::uint8_t c,
+                                                    const std::uint8_t* x,
+                                                    std::uint8_t* y,
+                                                    std::size_t n) {
+  if (c == 0) {
+    std::memset(y, 0, n);
+    return;
+  }
+  const __m128i lo =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(kNibble.lo[c]));
+  const __m128i hi =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(kNibble.hi[c]));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(y + i),
+                     mul16(v, lo, hi, mask));
+  }
+  scalar_mul_row(c, x + i, y + i, n - i);
+}
+
+__attribute__((target("ssse3"))) void ssse3_xor_into(const std::uint8_t* x,
+                                                     std::uint8_t* y,
+                                                     std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + i));
+    const __m128i o = _mm_loadu_si128(reinterpret_cast<const __m128i*>(y + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(y + i), _mm_xor_si128(o, v));
+  }
+  portable_xor_into(x + i, y + i, n - i);
+}
+
+__attribute__((target("avx2"))) inline __m256i mul32(__m256i v, __m256i lo,
+                                                     __m256i hi,
+                                                     __m256i mask) {
+  const __m256i l = _mm256_shuffle_epi8(lo, _mm256_and_si256(v, mask));
+  const __m256i h = _mm256_shuffle_epi8(
+      hi, _mm256_and_si256(_mm256_srli_epi64(v, 4), mask));
+  return _mm256_xor_si256(l, h);
+}
+
+__attribute__((target("avx2"))) void avx2_axpy(std::uint8_t c,
+                                               const std::uint8_t* x,
+                                               std::uint8_t* y,
+                                               std::size_t n) {
+  if (c == 0) return;
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(kNibble.lo[c])));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(kNibble.hi[c])));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    const __m256i o =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(y + i),
+                        _mm256_xor_si256(o, mul32(v, lo, hi, mask)));
+  }
+  ssse3_axpy(c, x + i, y + i, n - i);
+}
+
+__attribute__((target("avx2"))) void avx2_mul_row(std::uint8_t c,
+                                                  const std::uint8_t* x,
+                                                  std::uint8_t* y,
+                                                  std::size_t n) {
+  if (c == 0) {
+    std::memset(y, 0, n);
+    return;
+  }
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(kNibble.lo[c])));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(kNibble.hi[c])));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(y + i),
+                        mul32(v, lo, hi, mask));
+  }
+  ssse3_mul_row(c, x + i, y + i, n - i);
+}
+
+__attribute__((target("avx2"))) void avx2_xor_into(const std::uint8_t* x,
+                                                   std::uint8_t* y,
+                                                   std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    const __m256i o =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(y + i),
+                        _mm256_xor_si256(o, v));
+  }
+  ssse3_xor_into(x + i, y + i, n - i);
+}
+
+constexpr Kernel kSsse3{"ssse3", ssse3_axpy, ssse3_mul_row, ssse3_xor_into};
+constexpr Kernel kAvx2{"avx2", avx2_axpy, avx2_mul_row, avx2_xor_into};
+
+bool cpu_has_ssse3() { return __builtin_cpu_supports("ssse3") != 0; }
+bool cpu_has_avx2() { return __builtin_cpu_supports("avx2") != 0; }
+
+#endif  // THINAIR_GF_X86_SIMD
+
+// ----------------------------------------------------------- dispatch
+
+const std::vector<const Kernel*>& kernel_list() {
+  static const std::vector<const Kernel*> kernels = [] {
+    std::vector<const Kernel*> v{&kScalar, &kPortable};
+#ifdef THINAIR_GF_X86_SIMD
+    if (cpu_has_ssse3()) v.push_back(&kSsse3);
+    if (cpu_has_avx2()) v.push_back(&kAvx2);
+#endif
+    return v;
+  }();
+  return kernels;
+}
+
+const Kernel* find_kernel(std::string_view name) {
+  for (const Kernel* k : kernel_list())
+    if (name == k->name) return k;
+  return nullptr;
+}
+
+const Kernel* best_kernel() {
+  const Kernel* s = simd_kernel();
+  return s != nullptr ? s : &kPortable;
+}
+
+const Kernel* resolve_default() {
+  if (const char* env = std::getenv("THINAIR_GF_KERNEL");
+      env != nullptr && *env != '\0' && std::string_view(env) != "auto") {
+    if (const Kernel* k = find_kernel(env)) return k;
+    std::fprintf(stderr,
+                 "thinair: THINAIR_GF_KERNEL=%s is unknown or unsupported "
+                 "on this CPU; using %s\n",
+                 env, best_kernel()->name);
+  }
+  return best_kernel();
+}
+
+std::atomic<const Kernel*>& active_slot() {
+  static std::atomic<const Kernel*> slot{resolve_default()};
+  return slot;
+}
+
+}  // namespace
+
+const Kernel& scalar_kernel() { return kScalar; }
+const Kernel& portable_kernel() { return kPortable; }
+
+const Kernel* simd_kernel() {
+#ifdef THINAIR_GF_X86_SIMD
+  if (cpu_has_avx2()) return &kAvx2;
+  if (cpu_has_ssse3()) return &kSsse3;
+#endif
+  return nullptr;
+}
+
+std::span<const Kernel* const> all_kernels() { return kernel_list(); }
+
+const Kernel& active_kernel() {
+  return *active_slot().load(std::memory_order_relaxed);
+}
+
+bool set_active_kernel(std::string_view name) {
+  const Kernel* k = name == "auto" ? best_kernel() : find_kernel(name);
+  if (k == nullptr) return false;
+  active_slot().store(k, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace thinair::gf

@@ -1,0 +1,82 @@
+#pragma once
+// Bulk GF(2^8) kernels over raw byte spans.
+//
+// Every linear operation in the protocol — y/z/s-packet formation,
+// Gaussian elimination at the terminals, the secrecy analysis — bottoms
+// out in one of three primitives applied to whole payloads:
+//
+//   axpy      y[i] ^= c * x[i]      (packet combining, the workhorse)
+//   mul_row   y[i]  = c * x[i]      (row normalisation; x == y allowed)
+//   xor_into  y[i] ^= x[i]          (the c == 1 fast path)
+//
+// This header exposes them as a small vtable so the hot loops can be
+// retargeted at runtime: a scalar log/exp baseline, a portable 64-bit
+// SWAR (bit-sliced xtime) kernel, and SSSE3/AVX2 `pshufb` split-nibble
+// kernels in the style of ISA-L's Reed-Solomon routines. The active
+// kernel is chosen once by CPUID dispatch and can be overridden — for
+// testing and for the cross-kernel determinism checks — with the
+// THINAIR_GF_KERNEL environment variable or set_active_kernel().
+//
+// Contract: all kernels compute the exact same field arithmetic, so their
+// output bytes are identical for identical inputs (GF(2^8) is exact —
+// there is no rounding to diverge on). The differential test in
+// tests/kernel_test.cpp and the CI cross-kernel cmp enforce this.
+//
+// Aliasing: x and y must either not overlap or be exactly equal
+// (mul_row's in-place scale). Partial overlap is undefined.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "gf/gf256.h"
+
+namespace thinair::gf {
+
+/// One retargetable implementation of the bulk primitives.
+struct Kernel {
+  const char* name;  // "scalar" | "portable" | "ssse3" | "avx2"
+  void (*axpy)(std::uint8_t c, const std::uint8_t* x, std::uint8_t* y,
+               std::size_t n);
+  void (*mul_row)(std::uint8_t c, const std::uint8_t* x, std::uint8_t* y,
+                  std::size_t n);
+  void (*xor_into)(const std::uint8_t* x, std::uint8_t* y, std::size_t n);
+};
+
+/// The byte-at-a-time log/exp baseline (always available).
+[[nodiscard]] const Kernel& scalar_kernel();
+
+/// Portable 64-bit SWAR kernel: eight bytes per step via a bit-sliced
+/// xtime ladder (always available).
+[[nodiscard]] const Kernel& portable_kernel();
+
+/// Best SIMD kernel this CPU supports (AVX2 preferred over SSSE3), or
+/// nullptr when the build/CPU has none.
+[[nodiscard]] const Kernel* simd_kernel();
+
+/// Every kernel usable on this machine, scalar first.
+[[nodiscard]] std::span<const Kernel* const> all_kernels();
+
+/// The kernel behind gf::axpy / gf::mul_row / gf::xor_into. Resolution
+/// order: set_active_kernel() override, then THINAIR_GF_KERNEL, then the
+/// best CPUID-supported kernel.
+[[nodiscard]] const Kernel& active_kernel();
+
+/// Select by name ("auto" restores CPUID dispatch). Returns false — and
+/// leaves the selection unchanged — when the name is unknown or names a
+/// kernel this CPU cannot run.
+bool set_active_kernel(std::string_view name);
+
+/// y[i] = c * x[i] over n bytes through the active kernel (x == y allowed).
+inline void mul_row(GF256 c, const std::uint8_t* x, std::uint8_t* y,
+                    std::size_t n) {
+  active_kernel().mul_row(c.value(), x, y, n);
+}
+
+/// y[i] ^= x[i] over n bytes through the active kernel.
+inline void xor_into(const std::uint8_t* x, std::uint8_t* y, std::size_t n) {
+  active_kernel().xor_into(x, y, n);
+}
+
+}  // namespace thinair::gf

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "gf/kernels.h"
+
 namespace thinair::gf {
 
 std::size_t LinearSpace::reduce(std::vector<std::uint8_t>& v) const {
@@ -21,7 +23,7 @@ bool LinearSpace::insert(std::span<const std::uint8_t> v) {
   std::vector<std::uint8_t> w(v.begin(), v.end());
   const std::size_t pivot = reduce(w);
   if (pivot == dim_) return false;
-  scale(GF256{w[pivot]}.inv(), w.data(), dim_);
+  mul_row(GF256{w[pivot]}.inv(), w.data(), w.data(), dim_);
   // Back-substitute into existing rows to stay fully reduced.
   for (std::size_t b = 0; b < basis_.size(); ++b) {
     const GF256 c{basis_[b][pivot]};

@@ -3,6 +3,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "gf/kernels.h"
+
 namespace thinair::gf {
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<unsigned>> rows) {
@@ -107,7 +109,7 @@ std::vector<std::size_t> Matrix::row_reduce() {
       }
     }
     const GF256 inv = at(r, c).inv();
-    scale(inv, row(r).data(), cols_);
+    mul_row(inv, row(r).data(), row(r).data(), cols_);
     for (std::size_t i = 0; i < rows_; ++i) {
       if (i == r) continue;
       const GF256 f = at(i, c);

@@ -1,0 +1,98 @@
+#include "packet/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace thinair::packet {
+
+namespace {
+
+constexpr std::size_t kAlign = 16;  // SIMD-kernel friendly
+
+constexpr std::size_t align_up(std::size_t v) {
+  return (v + (kAlign - 1)) & ~(kAlign - 1);
+}
+
+}  // namespace
+
+PayloadArena::PayloadArena(std::size_t block_bytes)
+    : block_bytes_(std::max(block_bytes, kAlign)) {}
+
+std::uint8_t* PayloadArena::grow(std::size_t n) {
+  // Advance to an existing block that can hold n bytes at an aligned
+  // cursor, or append one. All comparisons are additions against the
+  // block size — offset_ can legally sit past an alignment bump, so
+  // `size - offset_` style subtraction would underflow.
+  while (cursor_ < blocks_.size()) {
+    const Block& blk = blocks_[cursor_];
+    std::uint8_t* base = blk.data.get();
+    std::size_t aligned = offset_;
+    const auto misalign =
+        reinterpret_cast<std::uintptr_t>(base + aligned) & (kAlign - 1);
+    if (misalign != 0) aligned += kAlign - misalign;
+    if (aligned <= blk.size && blk.size - aligned >= n) {
+      offset_ = aligned;
+      return base + aligned;
+    }
+    ++cursor_;
+    offset_ = 0;
+  }
+  // new[] of uint8_t carries only fundamental alignment; over-allocate
+  // by kAlign so an aligned cursor plus n always fits.
+  const std::size_t size = std::max(block_bytes_, n) + kAlign;
+  Block b;
+  b.data = std::make_unique_for_overwrite<std::uint8_t[]>(size);
+  b.size = size;
+  blocks_.push_back(std::move(b));
+  cursor_ = blocks_.size() - 1;  // also repairs a stale (e.g. moved-from) cursor
+  std::uint8_t* base = blocks_[cursor_].data.get();
+  offset_ = 0;
+  const auto misalign =
+      reinterpret_cast<std::uintptr_t>(base) & (kAlign - 1);
+  if (misalign != 0) offset_ = kAlign - misalign;
+  return base + offset_;
+}
+
+ByteSpan PayloadArena::alloc_uninit(std::size_t n) {
+  if (n == 0) return {};
+  std::uint8_t* p = grow(n);
+  offset_ += n;
+  allocated_ += n;
+  return {p, n};
+}
+
+ByteSpan PayloadArena::alloc(std::size_t n) {
+  if (n == 0) return {};  // memset's pointer is declared nonnull
+  ByteSpan s = alloc_uninit(n);
+  std::memset(s.data(), 0, s.size());
+  return s;
+}
+
+ByteSpan PayloadArena::copy(ConstByteSpan src) {
+  if (src.empty()) return {};
+  ByteSpan s = alloc_uninit(src.size());
+  std::memcpy(s.data(), src.data(), src.size());
+  return s;
+}
+
+void PayloadArena::reset() {
+  cursor_ = 0;
+  offset_ = 0;
+  allocated_ = 0;
+}
+
+void PayloadArena::rewind(Mark m) {
+  cursor_ = m.block;
+  offset_ = m.offset;
+  // bytes_allocated() is a monotone counter within a reset epoch; rewind
+  // is about reclaiming space, not accounting, so leave it as the
+  // high-water count of this epoch.
+}
+
+std::size_t PayloadArena::capacity() const {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.size;
+  return total;
+}
+
+}  // namespace thinair::packet

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "gf/gf256.h"
+#include "packet/arena.h"
 #include "packet/packet.h"
 
 namespace thinair::packet {
@@ -43,6 +44,18 @@ class Combination {
   /// size `payload_size` for every term t.
   [[nodiscard]] Payload apply(std::span<const Payload> inputs,
                               std::size_t payload_size) const;
+
+  /// Arena path: evaluate into a fresh zeroed span from `arena` of size
+  /// `payload_size`. Inputs are raw views (typically other arena spans).
+  [[nodiscard]] ConstByteSpan apply(std::span<const ConstByteSpan> inputs,
+                                    std::size_t payload_size,
+                                    PayloadArena& arena) const;
+
+  /// Accumulating core: out += sum of coeff * inputs[index] over every
+  /// term, where each referenced input must have out.size() bytes. A
+  /// zero-length `out` is a no-op — empty inputs are never dereferenced.
+  void apply_into(std::span<const ConstByteSpan> inputs, ByteSpan out) const;
+  void apply_into(std::span<const Payload> inputs, ByteSpan out) const;
 
   /// Dense coefficient row of width `universe` (index -> coefficient),
   /// used by the secrecy analysis.

@@ -10,6 +10,11 @@
 
 namespace thinair::runtime {
 
+packet::PayloadArena& worker_arena() {
+  thread_local packet::PayloadArena arena;
+  return arena;
+}
+
 RunStats run_scenario(const Scenario& scenario, const RunOptions& options,
                       ResultSink& sink) {
   const SweepPlan plan = scenario.plan();
@@ -22,6 +27,7 @@ RunStats run_scenario(const Scenario& scenario, const RunOptions& options,
   const auto t0 = std::chrono::steady_clock::now();
 
   const auto run_case = [&](std::size_t index) {
+    worker_arena().reset();
     CaseSpec spec{index, derive_seed(options.master_seed, index),
                   plan.at(index)};
     const CaseResult result = scenario.run(spec);

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "packet/arena.h"
 #include "runtime/result_sink.h"
 #include "runtime/scenario.h"
 
@@ -48,5 +49,13 @@ RunStats run_scenario(const Scenario& scenario, const RunOptions& options,
 std::vector<std::pair<CaseSpec, CaseResult>> run_scenario_collect(
     const Scenario& scenario, const RunOptions& options,
     RunStats* stats = nullptr);
+
+/// The calling worker's reusable payload arena. The engine resets it
+/// before every case, so a scenario's case function can hand it to the
+/// sessions it builds (SessionConfig::arena) and a sweep of thousands of
+/// cases allocates its payload memory once per thread instead of once per
+/// payload. Arena contents never outlive a case and never cross threads,
+/// so the determinism contract is unaffected.
+[[nodiscard]] packet::PayloadArena& worker_arena();
 
 }  // namespace thinair::runtime

@@ -11,6 +11,7 @@
 #include "core/session.h"
 #include "core/unicast.h"
 #include "net/medium.h"
+#include "runtime/engine.h"
 #include "runtime/seed.h"
 #include "testbed/experiment.h"
 #include "testbed/placements.h"
@@ -32,6 +33,7 @@ double mc_efficiency(bool unicast, double p, std::size_t n,
   cfg.rounds = 6;
   cfg.estimator.kind = core::EstimatorKind::kOracle;
   cfg.pool_strategy = core::PoolStrategy::kClassShared;
+  cfg.arena = &worker_arena();  // reset per case by the engine
 
   channel::IidErasure ch(p);
   net::Medium medium(ch, channel::Rng(seed));
@@ -104,6 +106,7 @@ testbed::ExperimentResult run_testbed_case(core::EstimatorKind kind,
   testbed::ExperimentConfig cfg;
   cfg.placement = cached_placements(n, max_placements)[placement_index];
   cfg.session.estimator.kind = kind;
+  cfg.session.arena = &worker_arena();  // reset per case by the engine
   cfg.seed = seed;
   return run_experiment(cfg);
 }

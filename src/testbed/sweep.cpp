@@ -38,6 +38,7 @@ SweepResult run_sweep(const SweepConfig& config) {
   scenario.run = [&cases, &config](const runtime::CaseSpec& spec) {
     ExperimentConfig exp = cases[spec.index];
     exp.seed = spec.seed;
+    exp.session.arena = &runtime::worker_arena();
     const ExperimentResult r = config.unicast_baseline
                                    ? run_unicast_experiment(exp)
                                    : run_experiment(exp);

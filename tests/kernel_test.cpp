@@ -1,0 +1,240 @@
+// The retargetable GF(2^8) kernel layer (gf/kernels.h) and the payload
+// arena (packet/arena.h): every kernel must produce byte-identical output
+// for every coefficient, length and alignment — that equivalence is what
+// lets the runtime promise kernel-independent NDJSON — and the arena must
+// hand out stable, aligned, reusable spans.
+#include "gf/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "channel/rng.h"
+#include "packet/arena.h"
+#include "packet/combination.h"
+#include "runtime/engine.h"
+#include "runtime/scenarios.h"
+
+namespace thinair {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  channel::Rng rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = rng.next_byte();
+  return out;
+}
+
+// Restores the dispatched kernel after a test that overrides it.
+struct KernelGuard {
+  ~KernelGuard() { gf::set_active_kernel("auto"); }
+};
+
+TEST(Kernels, RegistryHasScalarAndPortable) {
+  ASSERT_GE(gf::all_kernels().size(), 2u);
+  EXPECT_STREQ(gf::all_kernels()[0]->name, "scalar");
+  EXPECT_STREQ(gf::all_kernels()[1]->name, "portable");
+  EXPECT_FALSE(gf::set_active_kernel("no-such-kernel"));
+  EXPECT_TRUE(gf::set_active_kernel("scalar"));
+  KernelGuard guard;
+  EXPECT_STREQ(gf::active_kernel().name, "scalar");
+  EXPECT_TRUE(gf::set_active_kernel("auto"));
+}
+
+// The satellite differential test: all 256 coefficients x a size ladder
+// spanning 0..8 KiB x unaligned offsets, each kernel against the scalar
+// reference, for all three vtable entries.
+TEST(Kernels, DifferentialEquivalenceAllCoefficients) {
+  const gf::Kernel& ref = gf::scalar_kernel();
+  constexpr std::size_t kSizes[] = {0,  1,  2,   3,   7,   8,    9,   15,
+                                    16, 17, 31,  32,  33,  63,   64,  65,
+                                    100, 255, 256, 1000, 4096, 8192};
+  constexpr std::size_t kOffsets[] = {0, 1, 3};
+  constexpr std::size_t kMax = 8192 + 8;
+
+  const std::vector<std::uint8_t> x_base = random_bytes(kMax, 11);
+  const std::vector<std::uint8_t> y_base = random_bytes(kMax, 22);
+
+  for (const gf::Kernel* k : gf::all_kernels()) {
+    if (k == &ref) continue;
+    SCOPED_TRACE(k->name);
+    for (unsigned c = 0; c < 256; ++c) {
+      const auto cc = static_cast<std::uint8_t>(c);
+      for (const std::size_t n : kSizes) {
+        // Rotate through offsets with c so the full cross product is
+        // covered over the coefficient loop without tripling the runtime.
+        const std::size_t off = kOffsets[c % std::size(kOffsets)];
+        const std::uint8_t* x = x_base.data() + off;
+
+        std::vector<std::uint8_t> want(y_base.begin(), y_base.end());
+        std::vector<std::uint8_t> got(y_base.begin(), y_base.end());
+
+        ref.axpy(cc, x, want.data() + off, n);
+        k->axpy(cc, x, got.data() + off, n);
+        ASSERT_EQ(want, got) << "axpy c=" << c << " n=" << n;
+
+        ref.mul_row(cc, x, want.data() + off, n);
+        k->mul_row(cc, x, got.data() + off, n);
+        ASSERT_EQ(want, got) << "mul_row c=" << c << " n=" << n;
+
+        // In-place mul_row (the gf::scale path).
+        ref.mul_row(cc, want.data() + off, want.data() + off, n);
+        k->mul_row(cc, got.data() + off, got.data() + off, n);
+        ASSERT_EQ(want, got) << "mul_row in-place c=" << c << " n=" << n;
+
+        ref.xor_into(x, want.data() + off, n);
+        k->xor_into(x, got.data() + off, n);
+        ASSERT_EQ(want, got) << "xor_into n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Kernels, AxpyMatchesFieldDefinition) {
+  // Spot-check the kernels against scalar field arithmetic directly.
+  const std::vector<std::uint8_t> x = random_bytes(257, 33);
+  for (const gf::Kernel* k : gf::all_kernels()) {
+    SCOPED_TRACE(k->name);
+    std::vector<std::uint8_t> y = random_bytes(257, 44);
+    const std::vector<std::uint8_t> y0 = y;
+    const gf::GF256 c{0x8E};
+    k->axpy(c.value(), x.data(), y.data(), y.size());
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      const gf::GF256 want = gf::GF256(y0[i]) + c * gf::GF256(x[i]);
+      ASSERT_EQ(y[i], want.value()) << i;
+    }
+  }
+}
+
+TEST(PayloadArena, SpansAreStableAlignedAndZeroed) {
+  packet::PayloadArena arena(/*block_bytes=*/64);  // force block growth
+  std::vector<packet::ByteSpan> spans;
+  for (std::size_t i = 0; i < 100; ++i) {
+    packet::ByteSpan s = arena.alloc(24);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(s.data()) % 16, 0u);
+    for (std::uint8_t b : s) EXPECT_EQ(b, 0);
+    std::memset(s.data(), static_cast<int>(i + 1), s.size());
+    spans.push_back(s);
+  }
+  // Growth must not have moved earlier spans.
+  for (std::size_t i = 0; i < spans.size(); ++i)
+    for (std::uint8_t b : spans[i]) ASSERT_EQ(b, i + 1);
+  EXPECT_EQ(arena.bytes_allocated(), 100u * 24u);
+}
+
+TEST(PayloadArena, ResetReusesBlocks) {
+  packet::PayloadArena arena(1 << 12);
+  for (std::size_t i = 0; i < 64; ++i) (void)arena.alloc(100);
+  const std::size_t cap = arena.capacity();
+  EXPECT_GT(cap, 0u);
+  arena.reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  for (std::size_t round = 0; round < 4; ++round) {
+    arena.reset();
+    for (std::size_t i = 0; i < 64; ++i) (void)arena.alloc(100);
+    EXPECT_EQ(arena.capacity(), cap);  // steady state: no new blocks
+  }
+}
+
+TEST(PayloadArena, OddSizedBlocksAndTailAllocsStayInBounds) {
+  // Regression: an alignment bump near a block tail used to underflow the
+  // remaining-space computation and hand out an out-of-bounds span.
+  packet::PayloadArena arena(100);  // block size not a multiple of 16
+  std::vector<std::pair<const std::uint8_t*, std::size_t>> got;
+  const auto pound = [&] {
+    for (std::size_t i = 0; i < 200; ++i) {
+      const packet::ByteSpan s = arena.alloc(1 + (i % 29));
+      std::memset(s.data(), 0xAB, s.size());  // ASan guards the bounds
+      got.emplace_back(s.data(), s.size());
+    }
+  };
+  pound();
+  // Oversize block (n % 16 != 0), then reuse everything after reset.
+  (void)arena.alloc(1003);
+  arena.reset();
+  got.clear();
+  pound();
+  // No two live spans may overlap.
+  std::sort(got.begin(), got.end());
+  for (std::size_t i = 1; i < got.size(); ++i)
+    ASSERT_LE(reinterpret_cast<std::uintptr_t>(got[i - 1].first) +
+                  got[i - 1].second,
+              reinterpret_cast<std::uintptr_t>(got[i].first));
+}
+
+TEST(PayloadArena, MarkRewindReclaims) {
+  packet::PayloadArena arena(1 << 12);
+  (void)arena.alloc(100);
+  const packet::PayloadArena::Mark m = arena.mark();
+  const packet::ByteSpan a = arena.alloc(100);
+  const std::uint8_t* where = a.data();
+  arena.rewind(m);
+  const packet::ByteSpan b = arena.alloc(100);
+  EXPECT_EQ(b.data(), where);  // storage after the mark was reclaimed
+  const packet::ByteSpan big = arena.alloc(1 << 14);  // oversize block path
+  EXPECT_EQ(big.size(), std::size_t{1} << 14);
+  EXPECT_EQ(arena.copy(packet::ConstByteSpan{}).size(), 0u);
+  EXPECT_EQ(arena.alloc(0).size(), 0u);
+}
+
+TEST(Combination, ArenaApplyMatchesVectorApply) {
+  packet::PayloadArena arena;
+  const std::vector<packet::Payload> inputs = {
+      random_bytes(32, 1), random_bytes(32, 2), random_bytes(32, 3)};
+  std::vector<packet::ConstByteSpan> views(inputs.begin(), inputs.end());
+
+  packet::Combination c;
+  c.add(0, gf::GF256{3});
+  c.add(2, gf::GF256{0x7F});
+
+  const packet::Payload want = c.apply(inputs, 32);
+  const packet::ConstByteSpan got =
+      c.apply(std::span<const packet::ConstByteSpan>(views), 32, arena);
+  EXPECT_TRUE(std::equal(want.begin(), want.end(), got.begin(), got.end()));
+
+  // The zero-length fix: empty payloads are skipped without touching
+  // in.data(), including inputs that are themselves empty vectors.
+  const std::vector<packet::Payload> empty_inputs(3);
+  EXPECT_EQ(c.apply(empty_inputs, 0), packet::Payload{});
+  EXPECT_TRUE(c.apply(std::span<const packet::ConstByteSpan>(
+                          std::vector<packet::ConstByteSpan>(3)),
+                      0, arena)
+                  .empty());
+}
+
+// End-to-end byte-identity: a full sweep through medium, sessions, pool,
+// phases and sink must emit identical NDJSON under every kernel. This is
+// the in-process version of the CI cross-kernel cmp.
+TEST(Kernels, SweepNdjsonIsKernelInvariant) {
+  runtime::register_builtin_scenarios();
+  const runtime::Scenario* scenario =
+      runtime::ScenarioRegistry::instance().find(runtime::kFig1Scenario);
+  ASSERT_NE(scenario, nullptr);
+
+  KernelGuard guard;
+  std::string reference;
+  for (const gf::Kernel* k : gf::all_kernels()) {
+    SCOPED_TRACE(k->name);
+    ASSERT_TRUE(gf::set_active_kernel(k->name));
+    std::ostringstream ndjson;
+    runtime::ResultSink sink(scenario->name, &ndjson);
+    runtime::RunOptions options;
+    options.threads = 2;
+    options.master_seed = 7;
+    options.limit = 4;
+    runtime::run_scenario(*scenario, options, sink);
+    if (reference.empty()) {
+      reference = ndjson.str();
+      ASSERT_FALSE(reference.empty());
+    } else {
+      EXPECT_EQ(ndjson.str(), reference);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace thinair

@@ -5,12 +5,17 @@
 #include <gtest/gtest.h>
 
 #include "channel/erasure.h"
+#include "packet/arena.h"
 #include "packet/serialize.h"
 
 namespace thinair::core {
 namespace {
 
 packet::NodeId T(std::uint16_t v) { return packet::NodeId{v}; }
+
+std::vector<std::uint8_t> bytes_of(packet::ConstByteSpan s) {
+  return {s.begin(), s.end()};
+}
 
 TEST(OpenRound, PerfectChannelEveryoneGetsEverything) {
   channel::IidErasure ch(0.0);
@@ -19,11 +24,12 @@ TEST(OpenRound, PerfectChannelEveryoneGetsEverything) {
     medium.attach(T(i), net::Role::kTerminal);
   medium.attach(T(3), net::Role::kEavesdropper);
 
-  const RoundContext ctx = open_round(medium, T(0), packet::RoundId{0}, 20, 8);
+  packet::PayloadArena arena;
+  const RoundContext ctx = open_round(medium, T(0), packet::RoundId{0}, 20, 8, arena);
   EXPECT_EQ(ctx.receivers.size(), 2u);
   for (std::size_t ri = 0; ri < 2; ++ri) {
     EXPECT_EQ(ctx.rx_indices[ri].size(), 20u);
-    for (const auto& p : ctx.rx_payloads[ri]) EXPECT_TRUE(p.has_value());
+    for (const auto& p : ctx.rx_payloads[ri]) EXPECT_FALSE(p.empty());
   }
   EXPECT_EQ(ctx.eve_indices.size(), 20u);
   EXPECT_EQ(ctx.table.received_count(T(1)), 20u);
@@ -42,8 +48,9 @@ TEST(OpenRound, DeadChannelNothingReceivedReportsStillFlow) {
   medium2.attach(T(0), net::Role::kTerminal);
   medium2.attach(T(1), net::Role::kTerminal);
 
+  packet::PayloadArena arena;
   const RoundContext ctx =
-      open_round(medium2, T(0), packet::RoundId{0}, 10, 8);
+      open_round(medium2, T(0), packet::RoundId{0}, 10, 8, arena);
   EXPECT_TRUE(ctx.rx_indices[0].empty());
   EXPECT_TRUE(ctx.table.classes().empty());
 }
@@ -54,17 +61,20 @@ TEST(OpenRound, PayloadsMatchWhatWasSent) {
   medium.attach(T(0), net::Role::kTerminal);
   medium.attach(T(1), net::Role::kTerminal);
 
-  const RoundContext ctx = open_round(medium, T(0), packet::RoundId{0}, 30, 16);
+  packet::PayloadArena arena;
+  const RoundContext ctx = open_round(medium, T(0), packet::RoundId{0}, 30, 16, arena);
   for (std::uint32_t i : ctx.rx_indices[0]) {
-    ASSERT_TRUE(ctx.rx_payloads[0][i].has_value());
-    EXPECT_EQ(*ctx.rx_payloads[0][i], ctx.x_payloads[i]);
+    ASSERT_FALSE(ctx.rx_payloads[0][i].empty());
+    EXPECT_EQ(bytes_of(ctx.rx_payloads[0][i]), bytes_of(ctx.x_payloads[i]));
+    // Receiver views alias Alice's storage — no per-receiver copies.
+    EXPECT_EQ(ctx.rx_payloads[0][i].data(), ctx.x_payloads[i].data());
   }
   // Missed packets have no payload.
   for (std::uint32_t i = 0; i < 30; ++i) {
     const bool got = std::find(ctx.rx_indices[0].begin(),
                                ctx.rx_indices[0].end(),
                                i) != ctx.rx_indices[0].end();
-    EXPECT_EQ(ctx.rx_payloads[0][i].has_value(), got);
+    EXPECT_EQ(!ctx.rx_payloads[0][i].empty(), got);
   }
 }
 
@@ -76,7 +86,8 @@ TEST(OpenRound, SlotsRecordedModuloPatternCount) {
   medium.attach(T(0), net::Role::kTerminal);
   medium.attach(T(1), net::Role::kTerminal);
 
-  const RoundContext ctx = open_round(medium, T(0), packet::RoundId{0}, 60, 100);
+  packet::PayloadArena arena;
+  const RoundContext ctx = open_round(medium, T(0), packet::RoundId{0}, 60, 100, arena);
   ASSERT_EQ(ctx.slot_of.size(), 60u);
   for (std::size_t s : ctx.slot_of) EXPECT_LT(s, 9u);
   // The x-burst spans multiple slots, so several patterns appear.
@@ -92,7 +103,8 @@ TEST(OpenRound, ReportsAreOnTheAirAndParseable) {
   for (std::uint16_t i = 0; i < 3; ++i)
     medium.attach(T(i), net::Role::kTerminal);
 
-  const RoundContext ctx = open_round(medium, T(0), packet::RoundId{7}, 25, 8);
+  packet::PayloadArena arena;
+  const RoundContext ctx = open_round(medium, T(0), packet::RoundId{7}, 25, 8, arena);
   (void)ctx;
   std::size_t reports = 0;
   for (const net::TraceEntry& e : medium.trace().entries()) {
@@ -117,7 +129,8 @@ TEST(OpenRound, EveUnionAcrossAntennas) {
   medium.attach(T(2), net::Role::kEavesdropper);
   medium.attach(T(3), net::Role::kEavesdropper);
 
-  const RoundContext ctx = open_round(medium, T(0), packet::RoundId{0}, 12, 8);
+  packet::PayloadArena arena;
+  const RoundContext ctx = open_round(medium, T(0), packet::RoundId{0}, 12, 8, arena);
   EXPECT_EQ(ctx.eve_indices.size(), 12u);
 }
 

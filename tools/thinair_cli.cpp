@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "gf/kernels.h"
 #include "runtime/engine.h"
 #include "runtime/scenarios.h"
 
@@ -31,9 +32,20 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s list\n"
                "       %s run SCENARIO [--threads N] [--seed S]\n"
-               "           [--out FILE|-] [--limit K] [--quiet]\n",
-               argv0, argv0);
+               "           [--out FILE|-] [--limit K] [--quiet]\n"
+               "           [--kernel scalar|portable|ssse3|avx2|auto]\n"
+               "       %s kernels\n"
+               "--kernel (or THINAIR_GF_KERNEL) retargets the GF(2^8) bulk\n"
+               "kernels; output is byte-identical across kernels.\n",
+               argv0, argv0, argv0);
   return 2;
+}
+
+int cmd_kernels() {
+  for (const gf::Kernel* k : gf::all_kernels())
+    std::printf("%s%s\n", k->name,
+                k == &gf::active_kernel() ? "  (active)" : "");
+  return 0;
 }
 
 int cmd_list() {
@@ -95,6 +107,15 @@ bool parse_run_args(int argc, char** argv, RunArgs& args) {
       const char* v = value();
       if (v == nullptr) return false;
       args.out = v;
+    } else if (flag == "--kernel") {
+      const char* v = value();
+      if (v == nullptr || !gf::set_active_kernel(v)) {
+        std::fprintf(stderr,
+                     "--kernel %s: unknown or unsupported on this CPU "
+                     "(see `thinair kernels`)\n",
+                     v == nullptr ? "(missing)" : v);
+        return false;
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -147,6 +168,7 @@ int main(int argc, char** argv) {
 
   const std::string command = argv[1];
   if (command == "list") return cmd_list();
+  if (command == "kernels") return cmd_kernels();
   if (command == "run") {
     RunArgs args;
     if (!parse_run_args(argc - 2, argv + 2, args)) return usage(argv[0]);
