@@ -14,6 +14,11 @@ void EveView::observe_combinations(const gf::Matrix& rows) {
   space_.insert_rows(rows);
 }
 
+void EveView::observe_coded(const gf::Matrix& rows, const gf::Matrix& basis,
+                            packet::PayloadArena& arena) {
+  space_.insert_rows(rows.mul(basis, arena));
+}
+
 std::size_t EveView::equivocation(const gf::Matrix& secret_rows) const {
   return space_.residual_rank(secret_rows);
 }

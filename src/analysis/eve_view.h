@@ -17,6 +17,7 @@
 
 #include "gf/linear_space.h"
 #include "gf/matrix.h"
+#include "packet/arena.h"
 
 namespace thinair::analysis {
 
@@ -32,6 +33,14 @@ class EveView {
   /// Eve learned the content of linear combinations of the x-packets
   /// (rows are combination vectors in x-space, e.g. H*G for z-packets).
   void observe_combinations(const gf::Matrix& rows);
+
+  /// Eve learned coded contents rows * basis * x (e.g. phase 2's public
+  /// z-broadcast: rows = H over y-space, basis = G over x-space). The
+  /// product matrix is carved from `arena` — per-round scratch instead of
+  /// a heap allocation per observation — and fed through the fused
+  /// mad_multi product.
+  void observe_coded(const gf::Matrix& rows, const gf::Matrix& basis,
+                     packet::PayloadArena& arena);
 
   [[nodiscard]] std::size_t universe() const { return space_.dim(); }
   /// Dimension of everything Eve knows.

@@ -8,6 +8,7 @@
 
 #include "channel/geometry.h"
 #include "channel/interference.h"
+#include "util/ksubset.h"
 
 namespace thinair::core {
 
@@ -61,7 +62,7 @@ std::size_t KSubsetEstimator::missed_within(
   std::size_t best = indices.size();
   std::vector<std::size_t> pick(k);
   for (std::size_t i = 0; i < k; ++i) pick[i] = i;
-  for (;;) {
+  do {
     std::size_t missed = 0;
     for (std::uint32_t idx : indices) {
       bool any_has = false;
@@ -73,18 +74,8 @@ std::size_t KSubsetEstimator::missed_within(
       if (!any_has) ++missed;
     }
     best = std::min(best, missed);
-
-    // Next combination in lexicographic order.
-    std::size_t i = k;
-    while (i > 0) {
-      --i;
-      if (pick[i] != i + candidates.size() - k) break;
-      if (i == 0) return best;
-    }
-    if (pick[i] == i + candidates.size() - k) return best;
-    ++pick[i];
-    for (std::size_t j = i + 1; j < k; ++j) pick[j] = pick[j - 1] + 1;
-  }
+  } while (util::next_k_subset(pick, candidates.size()));
+  return best;
 }
 
 std::unique_ptr<EveBoundEstimator> make_leave_one_out(
@@ -236,7 +227,7 @@ std::size_t GeometryEstimator::missed_within(
   double worst = std::numeric_limits<double>::infinity();
   std::vector<std::size_t> pick(k);
   for (std::size_t i = 0; i < k; ++i) pick[i] = i;
-  for (;;) {
+  do {
     double expected = 0.0;
     for (std::uint32_t i : indices) {
       if (i >= slot_of_.size())
@@ -251,22 +242,7 @@ std::size_t GeometryEstimator::missed_within(
       expected += miss;
     }
     worst = std::min(worst, expected);
-
-    // Next k-combination in lexicographic order.
-    std::size_t i = k;
-    bool done = true;
-    while (i > 0) {
-      --i;
-      if (pick[i] != i + candidates_.size() - k) {
-        done = false;
-        break;
-      }
-      if (i == 0) break;
-    }
-    if (done) break;
-    ++pick[i];
-    for (std::size_t j = i + 1; j < k; ++j) pick[j] = pick[j - 1] + 1;
-  }
+  } while (util::next_k_subset(pick, candidates_.size()));
   return static_cast<std::size_t>(std::floor(safety_ * worst + 1e-9));
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "gf/encode.h"
+
 namespace thinair::core {
 
 Phase1Result run_phase1(const ReceptionTable& table,
@@ -19,11 +21,11 @@ std::vector<packet::ConstByteSpan> all_y_contents(
     throw std::invalid_argument("all_y_contents: payload_size == 0");
   if (x_payloads.size() != pool.universe())
     throw std::invalid_argument("all_y_contents: payload count != universe");
-  std::vector<packet::ConstByteSpan> out;
-  out.reserve(pool.size());
-  for (const YPool::Entry& e : pool.entries())
-    out.push_back(e.combo.apply(x_payloads, payload_size, arena));
-  return out;
+  // Fused path: the dense pool matrix and every output live in the arena;
+  // each x-payload is streamed once per block of gf::kMaxFusedRows y-rows
+  // instead of once per row.
+  const gf::Matrix m = pool.rows(arena);
+  return gf::encode(m, x_payloads, payload_size, arena);
 }
 
 std::vector<packet::Payload> all_y_contents(
@@ -31,10 +33,13 @@ std::vector<packet::Payload> all_y_contents(
     std::size_t payload_size) {
   if (x_payloads.size() != pool.universe())
     throw std::invalid_argument("all_y_contents: payload count != universe");
-  std::vector<packet::Payload> out;
-  out.reserve(pool.size());
-  for (const YPool::Entry& e : pool.entries())
-    out.push_back(e.combo.apply(x_payloads, payload_size));
+  std::vector<packet::Payload> out(pool.size());
+  for (packet::Payload& p : out) p.assign(payload_size, 0);
+  if (payload_size == 0) return out;
+  const std::vector<packet::ConstByteSpan> ins(x_payloads.begin(),
+                                               x_payloads.end());
+  std::vector<packet::ByteSpan> outs(out.begin(), out.end());
+  gf::encode(pool.rows(), ins, outs, payload_size);
   return out;
 }
 

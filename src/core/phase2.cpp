@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "gf/encode.h"
 #include "gf/mds.h"
 
 namespace thinair::core {
@@ -20,24 +21,21 @@ packet::Announcement announcement_from(const gf::Matrix& rows) {
   return a;
 }
 
+// Both forms of outputs = rows * inputs now run through the fused
+// gf::encode tiling (each input streamed once per block of
+// gf::kMaxFusedRows output rows).
+
 std::vector<packet::Payload> apply_rows(
     const gf::Matrix& rows, std::span<const packet::Payload> inputs,
     std::size_t payload_size) {
   if (inputs.size() != rows.cols())
     throw std::invalid_argument("apply_rows: input count mismatch");
-  std::vector<packet::Payload> out;
-  out.reserve(rows.rows());
-  for (std::size_t i = 0; i < rows.rows(); ++i) {
-    packet::Payload p(payload_size, 0);
-    for (std::size_t j = 0; j < rows.cols(); ++j) {
-      const gf::GF256 coeff = rows.at(i, j);
-      if (coeff.is_zero()) continue;
-      if (inputs[j].size() != payload_size)
-        throw std::invalid_argument("apply_rows: payload size mismatch");
-      gf::axpy(coeff, inputs[j].data(), p.data(), payload_size);
-    }
-    out.push_back(std::move(p));
-  }
+  std::vector<packet::Payload> out(rows.rows());
+  for (packet::Payload& p : out) p.assign(payload_size, 0);
+  if (payload_size == 0) return out;
+  const std::vector<packet::ConstByteSpan> ins(inputs.begin(), inputs.end());
+  std::vector<packet::ByteSpan> outs(out.begin(), out.end());
+  gf::encode(rows, ins, outs, payload_size);
   return out;
 }
 
@@ -48,20 +46,7 @@ std::vector<packet::ConstByteSpan> apply_rows(
     throw std::invalid_argument("apply_rows: payload_size == 0");
   if (inputs.size() != rows.cols())
     throw std::invalid_argument("apply_rows: input count mismatch");
-  std::vector<packet::ConstByteSpan> out;
-  out.reserve(rows.rows());
-  for (std::size_t i = 0; i < rows.rows(); ++i) {
-    const packet::ByteSpan p = arena.alloc(payload_size);
-    for (std::size_t j = 0; j < rows.cols(); ++j) {
-      const gf::GF256 coeff = rows.at(i, j);
-      if (coeff.is_zero()) continue;
-      if (inputs[j].size() != payload_size)
-        throw std::invalid_argument("apply_rows: payload size mismatch");
-      gf::axpy(coeff, inputs[j].data(), p.data(), payload_size);
-    }
-    out.push_back(p);
-  }
-  return out;
+  return gf::encode(rows, inputs, payload_size, arena);
 }
 
 }  // namespace
@@ -124,22 +109,28 @@ std::vector<packet::Payload> recover_all_y(
         "recover_all_y: more unknowns than z-packets (M_i < L?)");
 
   std::vector<packet::Payload> y(m);
+  std::vector<std::size_t> known;
   for (std::size_t j = 0; j < m; ++j)
-    if (own_y[j].has_value()) y[j] = *own_y[j];
+    if (own_y[j].has_value()) {
+      y[j] = *own_y[j];
+      known.push_back(j);
+    }
   if (unknown.empty()) return y;
 
-  // Residual r_i = z_i - sum_{known j} H[i][j] * y_j  =  H[:,unknown] * y_u.
-  std::vector<packet::Payload> residual(plan.h.rows());
-  for (std::size_t i = 0; i < plan.h.rows(); ++i) {
-    packet::Payload r = z_payloads[i];
+  // Residual r_i = z_i - sum_{known j} H[i][j] * y_j  =  H[:,unknown] * y_u,
+  // fused: seed the residuals with the z-contents, then one encode pass of
+  // H restricted to the known columns accumulates the subtraction.
+  std::vector<packet::Payload> residual(z_payloads.begin(), z_payloads.end());
+  for (const packet::Payload& r : residual)
     if (r.size() != payload_size)
       throw std::invalid_argument("recover_all_y: z payload size mismatch");
-    for (std::size_t j = 0; j < m; ++j) {
-      if (!own_y[j].has_value()) continue;
-      const gf::GF256 coeff = plan.h.at(i, j);
-      if (!coeff.is_zero()) gf::axpy(coeff, y[j].data(), r.data(), payload_size);
-    }
-    residual[i] = std::move(r);
+  {
+    const gf::Matrix hk = plan.h.select_columns(known);
+    std::vector<packet::ConstByteSpan> yk;
+    yk.reserve(known.size());
+    for (std::size_t j : known) yk.push_back(y[j]);
+    std::vector<packet::ByteSpan> rs(residual.begin(), residual.end());
+    gf::encode(hk, yk, rs, payload_size);
   }
 
   // Solve the (M - L) x |unknown| system; full column rank is guaranteed by
@@ -155,15 +146,17 @@ std::vector<packet::Payload> recover_all_y(
   if (!inv.has_value())
     throw std::logic_error("recover_all_y: repair system singular");
 
-  for (std::size_t u = 0; u < unknown.size(); ++u) {
-    packet::Payload p(payload_size, 0);
-    for (std::size_t i = 0; i < unknown.size(); ++i) {
-      const gf::GF256 coeff = inv->at(u, i);
-      if (!coeff.is_zero())
-        gf::axpy(coeff, residual[rows_used[i]].data(), p.data(), payload_size);
-    }
-    y[unknown[u]] = std::move(p);
+  std::vector<packet::Payload> repaired(unknown.size());
+  for (packet::Payload& p : repaired) p.assign(payload_size, 0);
+  {
+    std::vector<packet::ConstByteSpan> rc;
+    rc.reserve(unknown.size());
+    for (std::size_t i : rows_used) rc.push_back(residual[i]);
+    std::vector<packet::ByteSpan> outs(repaired.begin(), repaired.end());
+    gf::encode(*inv, rc, outs, payload_size);
   }
+  for (std::size_t u = 0; u < unknown.size(); ++u)
+    y[unknown[u]] = std::move(repaired[u]);
   return y;
 }
 
@@ -193,40 +186,42 @@ std::vector<packet::ConstByteSpan> recover_all_y(
 
   std::vector<packet::ConstByteSpan> y(own_y.begin(), own_y.end());
   if (unknown.empty()) return y;
+  std::vector<std::size_t> known;
+  for (std::size_t j = 0; j < m; ++j)
+    if (!own_y[j].empty()) known.push_back(j);
 
   // Residual r_i = z_i - sum_{known j} H[i][j] * y_j  =  H[:,unknown] * y_u.
   // Only the first |unknown| z-rows feed the solve below; skip the rest.
+  // Fused: seed the residuals with the z-contents, then one encode pass of
+  // the used H rows restricted to the known columns.
+  std::vector<std::size_t> rows_used(unknown.size());
+  for (std::size_t i = 0; i < unknown.size(); ++i) rows_used[i] = i;
   std::vector<packet::ByteSpan> residual(unknown.size());
-  for (std::size_t i = 0; i < unknown.size(); ++i) {
-    const packet::ByteSpan r = arena.copy(z_payloads[i]);
-    for (std::size_t j = 0; j < m; ++j) {
-      if (own_y[j].empty()) continue;
-      const gf::GF256 coeff = plan.h.at(i, j);
-      if (!coeff.is_zero())
-        gf::axpy(coeff, own_y[j].data(), r.data(), payload_size);
-    }
-    residual[i] = r;
+  for (std::size_t i = 0; i < unknown.size(); ++i)
+    residual[i] = arena.copy(z_payloads[i]);
+  {
+    const gf::Matrix hk =
+        plan.h.select_rows(rows_used).select_columns(known);
+    std::vector<packet::ConstByteSpan> yk;
+    yk.reserve(known.size());
+    for (std::size_t j : known) yk.push_back(own_y[j]);
+    gf::encode(hk, yk, residual, payload_size);
   }
 
   // Solve the square |unknown| x |unknown| subsystem built from the first
   // |unknown| z-rows (any such subset of Vandermonde rows 0..M-L-1
   // restricted to |unknown| columns is invertible).
-  std::vector<std::size_t> rows_used(unknown.size());
-  for (std::size_t i = 0; i < unknown.size(); ++i) rows_used[i] = i;
   const gf::Matrix sub = plan.h.select_rows(rows_used).select_columns(unknown);
   const auto inv = sub.inverse();
   if (!inv.has_value())
     throw std::logic_error("recover_all_y: repair system singular");
 
-  for (std::size_t u = 0; u < unknown.size(); ++u) {
-    const packet::ByteSpan p = arena.alloc(payload_size);
-    for (std::size_t i = 0; i < unknown.size(); ++i) {
-      const gf::GF256 coeff = inv->at(u, i);
-      if (!coeff.is_zero())
-        gf::axpy(coeff, residual[i].data(), p.data(), payload_size);
-    }
-    y[unknown[u]] = p;
-  }
+  const std::vector<packet::ConstByteSpan> rc(residual.begin(),
+                                              residual.end());
+  const std::vector<packet::ConstByteSpan> repaired =
+      gf::encode(*inv, rc, payload_size, arena);
+  for (std::size_t u = 0; u < unknown.size(); ++u)
+    y[unknown[u]] = repaired[u];
   return y;
 }
 

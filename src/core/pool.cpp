@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <limits>
-#include <map>
+#include <set>
 #include <stdexcept>
 
 #include "gf/mds.h"
@@ -40,11 +40,25 @@ std::size_t YPool::group_secret_size() const {
   return l;
 }
 
+namespace {
+
+void fill_rows(const std::vector<YPool::Entry>& entries, gf::Matrix& m) {
+  for (std::size_t i = 0; i < entries.size(); ++i)
+    for (const packet::Term& t : entries[i].combo.terms())
+      m.set(i, t.index, t.coeff);
+}
+
+}  // namespace
+
 gf::Matrix YPool::rows() const {
   gf::Matrix m(entries_.size(), universe_);
-  for (std::size_t i = 0; i < entries_.size(); ++i)
-    for (const packet::Term& t : entries_[i].combo.terms())
-      m.set(i, t.index, t.coeff);
+  fill_rows(entries_, m);
+  return m;
+}
+
+gf::Matrix YPool::rows(packet::PayloadArena& arena) const {
+  gf::Matrix m(entries_.size(), universe_, arena);
+  fill_rows(entries_, m);
   return m;
 }
 
@@ -116,6 +130,7 @@ void build_class_shared(const ReceptionTable& table,
     // the disjoint-support property, so joint secrecy is unaffected).
     std::size_t class_cap_total = 0;
     std::size_t class_alloc_total = 0;
+    bool class_limit_hit = false;
     for (std::size_t begin = 0; begin < cls.indices.size();
          begin += gf::mds::kMaxColumns) {
       const std::size_t end =
@@ -125,10 +140,15 @@ void build_class_shared(const ReceptionTable& table,
           cls.indices.begin() + static_cast<std::ptrdiff_t>(end));
 
       const std::size_t cap = estimator.missed_within(chunk, exempt);
-      std::size_t budget = kPoolLimit - result.pool.size();
+      const std::size_t pool_budget = kPoolLimit - result.pool.size();
+      std::size_t ceiling_budget = std::numeric_limits<std::size_t>::max();
       for (std::size_t mi : member_idx)
-        budget = std::min(budget, remaining[mi]);
-      const std::size_t n_t = std::min({cap, chunk.size(), budget});
+        ceiling_budget = std::min(ceiling_budget, remaining[mi]);
+      // What the estimator and the per-terminal ceilings would grant,
+      // before the pool-wide budget truncates it.
+      const std::size_t want = std::min({cap, chunk.size(), ceiling_budget});
+      const std::size_t n_t = std::min(want, pool_budget);
+      if (n_t < want) class_limit_hit = true;
       class_cap_total += cap;
       class_alloc_total += n_t;
       if (n_t == 0) continue;
@@ -146,8 +166,11 @@ void build_class_shared(const ReceptionTable& table,
         result.pool.add(YPool::Entry{std::move(combo), cls.members});
       }
     }
-    result.allocations.push_back(PoolAllocation{
-        cls.members, cls.indices.size(), class_cap_total, class_alloc_total});
+    result.allocations.push_back(PoolAllocation{cls.members,
+                                                cls.indices.size(),
+                                                class_cap_total,
+                                                class_alloc_total,
+                                                class_limit_hit});
   }
 }
 
@@ -179,15 +202,18 @@ void build_terminal_mds(const ReceptionTable& table,
     }
     return key;
   };
-  std::map<std::string, std::size_t> seen;
+  std::set<std::string> seen;
 
   for (std::size_t ri = 0; ri < receivers.size(); ++ri) {
     const std::vector<std::uint32_t> r_set = table.received(receivers[ri]);
+    std::size_t added = 0;
+    bool pool_full = false;  // the in-loop backstop tripped
 
     // Chunk reception sets wider than the field allows; quota is spent
     // chunk by chunk (earlier chunks first).
     std::size_t budget = quota[ri];
-    for (std::size_t begin = 0; begin < r_set.size() && budget > 0;
+    for (std::size_t begin = 0;
+         begin < r_set.size() && budget > 0 && !pool_full;
          begin += gf::mds::kMaxColumns) {
       const std::size_t end =
           std::min(begin + gf::mds::kMaxColumns, r_set.size());
@@ -203,24 +229,42 @@ void build_terminal_mds(const ReceptionTable& table,
         for (std::size_t col = 0; col < chunk.size(); ++col)
           combo.add(chunk[col], g.at(row, col));
 
-        const auto [it, inserted] =
-            seen.try_emplace(key_of(combo), result.pool.size());
-        if (inserted) {
-          if (result.pool.size() >= kPoolLimit) break;
-          net::NodeSet audience;
-          for (packet::NodeId other : receivers) {
-            bool subset = true;
-            for (const packet::Term& t : combo.terms())
-              if (!table.has(other, t.index)) {
-                subset = false;
-                break;
-              }
-            if (subset) audience.insert(other);
-          }
-          result.pool.add(YPool::Entry{std::move(combo), audience});
+        // A row already in the pool (a receiver with an identical chunk
+        // went first) is shared, not re-added; its audience was computed
+        // from every receiver at insert time and already covers us.
+        const auto [it, is_new] = seen.insert(key_of(combo));
+        if (!is_new) continue;
+        // Only a genuinely new row can hit the pool budget. Un-record a
+        // truncated row's key, so it never becomes a phantom entry that
+        // masquerades later identical rows as duplicates.
+        if (result.pool.size() >= kPoolLimit) {
+          seen.erase(it);
+          pool_full = true;
+          break;
         }
+        net::NodeSet audience;
+        for (packet::NodeId other : receivers) {
+          bool subset = true;
+          for (const packet::Term& t : combo.terms())
+            if (!table.has(other, t.index)) {
+              subset = false;
+              break;
+            }
+          if (subset) audience.insert(other);
+        }
+        result.pool.add(YPool::Entry{std::move(combo), audience});
+        ++added;
       }
     }
+
+    net::NodeSet self;
+    self.insert(receivers[ri]);
+    // Proportional scaling is the usual way the pool budget bites; the
+    // in-loop backstop catches estimators that over-report. Both count
+    // as a limit hit.
+    const bool limit_hit = pool_full || quota[ri] < result.ceilings[ri];
+    result.allocations.push_back(
+        PoolAllocation{self, r_set.size(), quota[ri], added, limit_hit});
   }
 }
 

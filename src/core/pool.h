@@ -71,6 +71,9 @@ class YPool {
 
   /// The M x N combination matrix over x-space (row j = y_j).
   [[nodiscard]] gf::Matrix rows() const;
+  /// Arena path: the same matrix carved from `arena` (per-round scratch),
+  /// the form the fused encode and analysis paths consume.
+  [[nodiscard]] gf::Matrix rows(packet::PayloadArena& arena) const;
 
   /// Combination identities of every y, in pool order — the content of
   /// Alice's phase-1 announcement.
@@ -82,13 +85,17 @@ class YPool {
   std::vector<Entry> entries_;
 };
 
-/// Per-class allocation decided by the builder; exposed for tests and for
+/// One allocation decided by the builder — per reception class for
+/// kClassShared, per receiver for kTerminalMds; exposed for tests and for
 /// the ablation benches.
 struct PoolAllocation {
   net::NodeSet members;
   std::size_t class_size = 0;
-  std::size_t cap = 0;        // estimator's class cap
+  std::size_t cap = 0;        // estimator's class cap / receiver's quota
   std::size_t allocated = 0;  // n_T actually used
+  /// True when the pool-wide kPoolLimit budget (not the estimator) cut
+  /// this allocation short — previously a silent truncation.
+  bool limit_hit = false;
 };
 
 /// How the y-pool is constructed. Two instantiations of [9]'s MDS ideas
@@ -114,7 +121,8 @@ enum class PoolStrategy : std::uint8_t { kClassShared, kTerminalMds };
 
 struct PoolBuildResult {
   YPool pool;
-  std::vector<PoolAllocation> allocations;  // kClassShared only
+  /// Per class (kClassShared) or per receiver (kTerminalMds).
+  std::vector<PoolAllocation> allocations;
   std::vector<std::size_t> ceilings;  // per receiver, estimator's M_i bound
 };
 

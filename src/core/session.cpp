@@ -166,12 +166,13 @@ RoundOutcome GroupSecretSession::run_round(packet::NodeId alice,
     }
   }
 
-  // Eve's exact view and this round's score.
-  const gf::Matrix g = pool.rows();
+  // Eve's exact view and this round's score. The pool matrix and the
+  // H*G / C*G products are per-round scratch: carve them from the arena.
+  const gf::Matrix g = pool.rows(arena);
   analysis::EveView eve(n);
   eve.observe_x(ctx.eve_indices);
   if (plan.pool_size > 0 && plan.h.rows() > 0)
-    eve.observe_combinations(plan.h.mul(g));  // public z contents in x-space
+    eve.observe_coded(plan.h, g, arena);  // public z contents in x-space
 
   RoundOutcome outcome;
   outcome.alice = alice;
@@ -183,7 +184,7 @@ RoundOutcome GroupSecretSession::run_round(packet::NodeId alice,
   outcome.secret_bits = secret_bits(plan, payload);
   outcome.data_packets = n + (pool.size() - plan.group_size);
   const gf::Matrix secret_rows =
-      plan.group_size > 0 ? plan.c.mul(g) : gf::Matrix(0, n);
+      plan.group_size > 0 ? plan.c.mul(g, arena) : gf::Matrix(0, n);
   outcome.leakage = analysis::compute_leakage(eve, secret_rows);
 
   for (const packet::ConstByteSpan s : s_payloads)

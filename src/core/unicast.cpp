@@ -83,7 +83,7 @@ RoundOutcome UnicastSession::run_round(packet::NodeId alice,
   // minimum number of rows any receiver ends up owning — the operational
   // price the unicast baseline pays for not coding (its Figure-1 curve is
   // an upper bound that assumes fully independent pair-wise secrets).
-  const gf::Matrix g = pool.rows();
+  const gf::Matrix g = pool.rows(arena);
   std::vector<std::vector<std::size_t>> assigned(ctx.receivers.size());
   for (std::size_t row = 0; row < pool.size(); ++row) {
     std::size_t best = ctx.receivers.size();

@@ -1,0 +1,57 @@
+#include "gf/encode.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gf/kernels.h"
+
+namespace thinair::gf {
+
+void encode(const Matrix& m,
+            std::span<const std::span<const std::uint8_t>> inputs,
+            std::span<const std::span<std::uint8_t>> outputs,
+            std::size_t payload_size) {
+  if (inputs.size() != m.cols())
+    throw std::invalid_argument("gf::encode: input count != matrix cols");
+  if (outputs.size() != m.rows())
+    throw std::invalid_argument("gf::encode: output count != matrix rows");
+  for (const std::span<std::uint8_t> out : outputs)
+    if (out.size() != payload_size)
+      throw std::invalid_argument("gf::encode: output size mismatch");
+
+  const Kernel& kernel = active_kernel();
+  for (std::size_t r0 = 0; r0 < m.rows(); r0 += kMaxFusedRows) {
+    const std::size_t kb = std::min(kMaxFusedRows, m.rows() - r0);
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      // Gather the block's live rows for input j; all-zero columns cost
+      // kb byte loads and never touch the input payload.
+      std::uint8_t cc[kMaxFusedRows];
+      std::uint8_t* ys[kMaxFusedRows];
+      std::size_t live = 0;
+      for (std::size_t r = 0; r < kb; ++r) {
+        const std::uint8_t c = m.at(r0 + r, j).value();
+        if (c == 0) continue;
+        cc[live] = c;
+        ys[live] = outputs[r0 + r].data();
+        ++live;
+      }
+      if (live == 0) continue;
+      if (inputs[j].size() != payload_size)
+        throw std::invalid_argument("gf::encode: input size mismatch");
+      kernel.mad_multi(cc, live, inputs[j].data(), ys, payload_size);
+    }
+  }
+}
+
+std::vector<std::span<const std::uint8_t>> encode(
+    const Matrix& m, std::span<const std::span<const std::uint8_t>> inputs,
+    std::size_t payload_size, packet::PayloadArena& arena) {
+  if (payload_size == 0)
+    throw std::invalid_argument("gf::encode: payload_size == 0");
+  const std::vector<std::span<std::uint8_t>> outs =
+      arena.alloc_rows(m.rows(), payload_size);
+  encode(m, inputs, outs, payload_size);
+  return {outs.begin(), outs.end()};
+}
+
+}  // namespace thinair::gf

@@ -8,14 +8,20 @@
 //   axpy      y[i] ^= c * x[i]      (packet combining, the workhorse)
 //   mul_row   y[i]  = c * x[i]      (row normalisation; x == y allowed)
 //   xor_into  y[i] ^= x[i]          (the c == 1 fast path)
+//   mad_multi ys[r][i] ^= c[r]*x[i] (fused multi-row accumulate: encode up
+//                                    to kMaxFusedRows output rows per pass
+//                                    over the shared input, ISA-L
+//                                    gf_vect_mad-style)
 //
 // This header exposes them as a small vtable so the hot loops can be
 // retargeted at runtime: a scalar log/exp baseline, a portable 64-bit
-// SWAR (bit-sliced xtime) kernel, and SSSE3/AVX2 `pshufb` split-nibble
-// kernels in the style of ISA-L's Reed-Solomon routines. The active
-// kernel is chosen once by CPUID dispatch and can be overridden — for
-// testing and for the cross-kernel determinism checks — with the
-// THINAIR_GF_KERNEL environment variable or set_active_kernel().
+// SWAR (bit-sliced xtime) kernel, SSSE3/AVX2 `pshufb` split-nibble
+// kernels in the style of ISA-L's Reed-Solomon routines, and a
+// GFNI+AVX-512 kernel (`gf2p8affineqb`: a full GF(2^8) multiply per byte
+// lane from one 8x8 bit matrix per coefficient). The active kernel is
+// chosen once by CPUID dispatch and can be overridden — for testing and
+// for the cross-kernel determinism checks — with the THINAIR_GF_KERNEL
+// environment variable or set_active_kernel().
 //
 // Contract: all kernels compute the exact same field arithmetic, so their
 // output bytes are identical for identical inputs (GF(2^8) is exact —
@@ -23,7 +29,8 @@
 // tests/kernel_test.cpp and the CI cross-kernel cmp enforce this.
 //
 // Aliasing: x and y must either not overlap or be exactly equal
-// (mul_row's in-place scale). Partial overlap is undefined.
+// (mul_row's in-place scale). Partial overlap is undefined. For mad_multi
+// the output rows must be pairwise disjoint and none may overlap x.
 
 #include <cstddef>
 #include <cstdint>
@@ -34,14 +41,26 @@
 
 namespace thinair::gf {
 
+/// Rows one mad_multi pass fuses at most. Larger batches are tiled into
+/// blocks of this size (by the kernels themselves and by gf::encode); the
+/// value is chosen so the AVX2 kernel's per-row nibble tables still fit
+/// the register file with modest spilling.
+inline constexpr std::size_t kMaxFusedRows = 8;
+
 /// One retargetable implementation of the bulk primitives.
 struct Kernel {
-  const char* name;  // "scalar" | "portable" | "ssse3" | "avx2"
+  const char* name;  // "scalar" | "portable" | "ssse3" | "avx2" | "gfni"
   void (*axpy)(std::uint8_t c, const std::uint8_t* x, std::uint8_t* y,
                std::size_t n);
   void (*mul_row)(std::uint8_t c, const std::uint8_t* x, std::uint8_t* y,
                   std::size_t n);
   void (*xor_into)(const std::uint8_t* x, std::uint8_t* y, std::size_t n);
+  /// ys[r][i] ^= c[r] * x[i] for every r < k — byte-exact equal to k
+  /// repeated axpy calls, but streaming x once per kMaxFusedRows outputs.
+  /// Any k is accepted (tiled internally); c[r] == 0 rows are skipped.
+  void (*mad_multi)(const std::uint8_t* c, std::size_t k,
+                    const std::uint8_t* x, std::uint8_t* const* ys,
+                    std::size_t n);
 };
 
 /// The byte-at-a-time log/exp baseline (always available).
@@ -51,7 +70,7 @@ struct Kernel {
 /// xtime ladder (always available).
 [[nodiscard]] const Kernel& portable_kernel();
 
-/// Best SIMD kernel this CPU supports (AVX2 preferred over SSSE3), or
+/// Best SIMD kernel this CPU supports (GFNI+AVX-512 > AVX2 > SSSE3), or
 /// nullptr when the build/CPU has none.
 [[nodiscard]] const Kernel* simd_kernel();
 
@@ -78,5 +97,49 @@ inline void mul_row(GF256 c, const std::uint8_t* x, std::uint8_t* y,
 inline void xor_into(const std::uint8_t* x, std::uint8_t* y, std::size_t n) {
   active_kernel().xor_into(x, y, n);
 }
+
+/// ys[r][i] ^= c[r] * x[i] for every r < k through the active kernel.
+inline void mad_multi(const std::uint8_t* c, std::size_t k,
+                      const std::uint8_t* x, std::uint8_t* const* ys,
+                      std::size_t n) {
+  active_kernel().mad_multi(c, k, x, ys, n);
+}
+
+/// Batches (coefficient, output-row) pairs against one shared input and
+/// flushes them through mad_multi in blocks of kMaxFusedRows — the
+/// elimination-loop shape (Matrix::row_reduce, LinearSpace back-
+/// substitution) where the live rows are discovered one at a time. Zero
+/// coefficients are dropped on add(). The destructor flushes whatever is
+/// pending; call flush() explicitly where the results must be visible
+/// before the batch goes out of scope.
+class MadBatch {
+ public:
+  MadBatch(const std::uint8_t* x, std::size_t n)
+      : x_(x), n_(n), kernel_(active_kernel()) {}
+  ~MadBatch() { flush(); }
+  MadBatch(const MadBatch&) = delete;
+  MadBatch& operator=(const MadBatch&) = delete;
+
+  void add(std::uint8_t c, std::uint8_t* y) {
+    if (c == 0) return;
+    cc_[live_] = c;
+    ys_[live_] = y;
+    if (++live_ == kMaxFusedRows) flush();
+  }
+
+  void flush() {
+    if (live_ == 0) return;
+    kernel_.mad_multi(cc_, live_, x_, ys_, n_);
+    live_ = 0;
+  }
+
+ private:
+  const std::uint8_t* x_;
+  std::size_t n_;
+  const Kernel& kernel_;
+  std::uint8_t cc_[kMaxFusedRows];
+  std::uint8_t* ys_[kMaxFusedRows];
+  std::size_t live_ = 0;
+};
 
 }  // namespace thinair::gf

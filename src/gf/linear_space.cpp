@@ -20,15 +20,20 @@ std::size_t LinearSpace::reduce(std::vector<std::uint8_t>& v) const {
 
 bool LinearSpace::insert(std::span<const std::uint8_t> v) {
   if (v.size() != dim_) throw std::invalid_argument("LinearSpace: bad length");
-  std::vector<std::uint8_t> w(v.begin(), v.end());
+  return insert_owned({v.begin(), v.end()});
+}
+
+bool LinearSpace::insert_owned(std::vector<std::uint8_t> w) {
   const std::size_t pivot = reduce(w);
   if (pivot == dim_) return false;
   mul_row(GF256{w[pivot]}.inv(), w.data(), w.data(), dim_);
-  // Back-substitute into existing rows to stay fully reduced.
-  for (std::size_t b = 0; b < basis_.size(); ++b) {
-    const GF256 c{basis_[b][pivot]};
-    if (!c.is_zero()) axpy(c, w.data(), basis_[b].data(), dim_);
-  }
+  // Back-substitute into existing rows to stay fully reduced — fused: the
+  // new row is the shared input, batches of kMaxFusedRows basis rows the
+  // outputs.
+  MadBatch batch(w.data(), dim_);
+  for (std::size_t b = 0; b < basis_.size(); ++b)
+    batch.add(basis_[b][pivot], basis_[b].data());
+  batch.flush();
   const auto pos = std::lower_bound(pivots_.begin(), pivots_.end(), pivot);
   const auto idx = static_cast<std::size_t>(pos - pivots_.begin());
   pivots_.insert(pos, pivot);
@@ -50,7 +55,7 @@ bool LinearSpace::insert_unit(std::size_t index) {
   if (index >= dim_) throw std::out_of_range("LinearSpace: unit index");
   std::vector<std::uint8_t> v(dim_, 0);
   v[index] = 1;
-  return insert(v);
+  return insert_owned(std::move(v));
 }
 
 bool LinearSpace::contains(std::span<const std::uint8_t> v) const {
@@ -60,8 +65,36 @@ bool LinearSpace::contains(std::span<const std::uint8_t> v) const {
 }
 
 std::size_t LinearSpace::residual_rank(const Matrix& m) const {
-  LinearSpace tmp = *this;
-  return tmp.insert_rows(m);
+  // Rank counting only — no copy of the basis, no normalisation of the
+  // probe rows beyond what elimination needs. Each candidate row is
+  // reduced against the fixed basis, then against the previously accepted
+  // candidates (kept normalised and sorted by pivot; rows are zero before
+  // their pivot and zero at every fixed-basis pivot, so one monotone walk
+  // eliminates every matching pivot).
+  if (m.cols() != dim_)
+    throw std::invalid_argument("LinearSpace: matrix width");
+  std::vector<std::vector<std::uint8_t>> fresh;  // sorted by pivot
+  std::vector<std::size_t> fresh_pivots;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const auto row = m.row(i);
+    std::vector<std::uint8_t> w(row.begin(), row.end());
+    std::size_t p = reduce(w);
+    for (std::size_t b = 0; b < fresh.size() && p < dim_; ++b) {
+      if (fresh_pivots[b] < p) continue;
+      if (fresh_pivots[b] > p) break;  // nothing can clear column p
+      axpy(GF256{w[p]}, fresh[b].data(), w.data(), dim_);
+      while (p < dim_ && w[p] == 0) ++p;
+    }
+    if (p == dim_) continue;
+    mul_row(GF256{w[p]}.inv(), w.data(), w.data(), dim_);
+    const auto pos =
+        std::lower_bound(fresh_pivots.begin(), fresh_pivots.end(), p);
+    const auto idx = static_cast<std::size_t>(pos - fresh_pivots.begin());
+    fresh_pivots.insert(pos, p);
+    fresh.insert(fresh.begin() + static_cast<std::ptrdiff_t>(idx),
+                 std::move(w));
+  }
+  return fresh.size();
 }
 
 Matrix LinearSpace::basis() const {

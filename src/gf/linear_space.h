@@ -51,6 +51,9 @@ class LinearSpace {
   /// nonzero entry, or dim_ when v reduces to zero.
   std::size_t reduce(std::vector<std::uint8_t>& v) const;
 
+  /// insert() taking ownership of the candidate row (no defensive copy).
+  bool insert_owned(std::vector<std::uint8_t> w);
+
   std::size_t dim_;
   // Rows kept sorted by pivot column; each row is normalised (pivot == 1)
   // and fully reduced against the others.

@@ -3,6 +3,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "gf/encode.h"
 #include "gf/kernels.h"
 
 namespace thinair::gf {
@@ -10,12 +11,13 @@ namespace thinair::gf {
 Matrix::Matrix(std::initializer_list<std::initializer_list<unsigned>> rows) {
   rows_ = rows.size();
   cols_ = rows_ == 0 ? 0 : rows.begin()->size();
-  data_.reserve(rows_ * cols_);
+  owned_.reserve(rows_ * cols_);
   for (const auto& r : rows) {
     if (r.size() != cols_)
       throw std::invalid_argument("Matrix: ragged initializer");
-    for (unsigned v : r) data_.push_back(static_cast<std::uint8_t>(v));
+    for (unsigned v : r) owned_.push_back(static_cast<std::uint8_t>(v));
   }
+  data_ = owned_.data();
 }
 
 Matrix Matrix::identity(std::size_t n) {
@@ -24,18 +26,35 @@ Matrix Matrix::identity(std::size_t n) {
   return m;
 }
 
+namespace {
+
+// out += lhs * rhs: a matrix product IS a fused encode of rhs's rows (the
+// "payloads") under lhs's coefficients, so share gf::encode's row-block
+// tiling. XOR accumulation over exact field products is order-
+// independent, so the bytes match the row-by-row formulation exactly.
+void mul_into(const Matrix& lhs, const Matrix& rhs, Matrix& out) {
+  std::vector<std::span<const std::uint8_t>> ins(rhs.rows());
+  for (std::size_t k = 0; k < rhs.rows(); ++k) ins[k] = rhs.row(k);
+  std::vector<std::span<std::uint8_t>> outs(out.rows());
+  for (std::size_t i = 0; i < out.rows(); ++i) outs[i] = out.row(i);
+  encode(lhs, ins, outs, rhs.cols());
+}
+
+}  // namespace
+
 Matrix Matrix::mul(const Matrix& rhs) const {
   if (cols_ != rhs.rows_)
     throw std::invalid_argument("Matrix::mul: dimension mismatch");
   Matrix out(rows_, rhs.cols_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    auto out_row = out.row(i);
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const GF256 a = at(i, k);
-      if (!a.is_zero())
-        axpy(a, rhs.row(k).data(), out_row.data(), rhs.cols_);
-    }
-  }
+  mul_into(*this, rhs, out);
+  return out;
+}
+
+Matrix Matrix::mul(const Matrix& rhs, packet::PayloadArena& arena) const {
+  if (cols_ != rhs.rows_)
+    throw std::invalid_argument("Matrix::mul: dimension mismatch");
+  Matrix out(rows_, rhs.cols_, arena);
+  mul_into(*this, rhs, out);
   return out;
 }
 
@@ -52,9 +71,9 @@ Matrix Matrix::vstack(const Matrix& below) const {
   if (cols_ != below.cols_)
     throw std::invalid_argument("Matrix::vstack: column mismatch");
   Matrix out(rows_ + below.rows_, cols_);
-  std::copy(data_.begin(), data_.end(), out.data_.begin());
-  std::copy(below.data_.begin(), below.data_.end(),
-            out.data_.begin() + static_cast<std::ptrdiff_t>(data_.size()));
+  std::copy(data_, data_ + rows_ * cols_, out.data_);
+  std::copy(below.data_, below.data_ + below.rows_ * below.cols_,
+            out.data_ + rows_ * cols_);
   return out;
 }
 
@@ -110,11 +129,12 @@ std::vector<std::size_t> Matrix::row_reduce() {
     }
     const GF256 inv = at(r, c).inv();
     mul_row(inv, row(r).data(), row(r).data(), cols_);
-    for (std::size_t i = 0; i < rows_; ++i) {
-      if (i == r) continue;
-      const GF256 f = at(i, c);
-      if (!f.is_zero()) axpy(f, row(r).data(), row(i).data(), cols_);
-    }
+    // Eliminate column c from every other row, fused: the pivot row is
+    // the shared input, batches of kMaxFusedRows rows the outputs.
+    MadBatch batch(row(r).data(), cols_);
+    for (std::size_t i = 0; i < rows_; ++i)
+      if (i != r) batch.add(at(i, c).value(), row(i).data());
+    batch.flush();
     pivots.push_back(c);
     ++r;
   }

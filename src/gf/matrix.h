@@ -3,15 +3,26 @@
 // multiplication (packet combining), Gaussian elimination (decoding at the
 // terminals), rank (secrecy/equivocation analysis) and inversion (MDS
 // sub-matrix checks).
+//
+// Storage is either heap-owned (the default) or carved from a
+// packet::PayloadArena: the per-round coefficient matrices of the encode
+// and analysis paths live in the runtime's per-worker arenas, so building
+// and row-reducing them allocates nothing. An arena-backed matrix must not
+// outlive a reset()/rewind() past its span; copying one (copy ctor,
+// assignment, or any derived-matrix method) always yields a heap-owning
+// result, so only the original aliases the arena.
 
+#include <algorithm>
 #include <cstddef>
 #include <initializer_list>
 #include <iosfwd>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "gf/gf256.h"
+#include "packet/arena.h"
 
 namespace thinair::gf {
 
@@ -20,7 +31,37 @@ class Matrix {
  public:
   Matrix() = default;
   Matrix(std::size_t rows, std::size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, std::uint8_t{0}) {}
+      : rows_(rows), cols_(cols), owned_(rows * cols, std::uint8_t{0}),
+        data_(owned_.data()) {}
+
+  /// Arena-backed: rows*cols zeroed bytes bump-allocated from `arena`.
+  Matrix(std::size_t rows, std::size_t cols, packet::PayloadArena& arena)
+      : rows_(rows), cols_(cols), data_(arena.alloc(rows * cols).data()) {}
+
+  Matrix(const Matrix& o)
+      : rows_(o.rows_), cols_(o.cols_),
+        owned_(o.data_, o.data_ + o.rows_ * o.cols_), data_(owned_.data()) {}
+  Matrix& operator=(const Matrix& o) {
+    if (this != &o) *this = Matrix(o);  // copy then move
+    return *this;
+  }
+  Matrix(Matrix&& o) noexcept
+      : rows_(o.rows_), cols_(o.cols_), owned_(std::move(o.owned_)),
+        data_(owned_.empty() ? o.data_ : owned_.data()) {
+    o.rows_ = o.cols_ = 0;
+    o.data_ = nullptr;
+  }
+  Matrix& operator=(Matrix&& o) noexcept {
+    if (this != &o) {
+      rows_ = o.rows_;
+      cols_ = o.cols_;
+      owned_ = std::move(o.owned_);
+      data_ = owned_.empty() ? o.data_ : owned_.data();
+      o.rows_ = o.cols_ = 0;
+      o.data_ = nullptr;
+    }
+    return *this;
+  }
 
   /// Build from nested initializer lists of raw byte values; all inner
   /// lists must have equal length.
@@ -43,14 +84,18 @@ class Matrix {
   }
 
   [[nodiscard]] std::span<const std::uint8_t> row(std::size_t r) const {
-    return {data_.data() + r * cols_, cols_};
+    return {data_ + r * cols_, cols_};
   }
   [[nodiscard]] std::span<std::uint8_t> row(std::size_t r) {
-    return {data_.data() + r * cols_, cols_};
+    return {data_ + r * cols_, cols_};
   }
 
-  /// C = (*this) * rhs. Requires cols() == rhs.rows().
+  /// C = (*this) * rhs. Requires cols() == rhs.rows(). Runs through the
+  /// fused mad_multi kernels (each rhs row streamed once per block of
+  /// kMaxFusedRows output rows).
   [[nodiscard]] Matrix mul(const Matrix& rhs) const;
+  /// As mul(), with the result carved from `arena`.
+  [[nodiscard]] Matrix mul(const Matrix& rhs, packet::PayloadArena& arena) const;
 
   [[nodiscard]] Matrix transpose() const;
 
@@ -79,12 +124,16 @@ class Matrix {
   /// underdetermined (the solution must be unique).
   [[nodiscard]] std::optional<Matrix> solve(const Matrix& b) const;
 
-  friend bool operator==(const Matrix&, const Matrix&) = default;
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ &&
+           std::equal(a.data_, a.data_ + a.rows_ * a.cols_, b.data_);
+  }
 
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<std::uint8_t> data_;
+  std::vector<std::uint8_t> owned_;  // empty when arena-backed
+  std::uint8_t* data_ = nullptr;     // owned_.data() or the arena span
 };
 
 std::ostream& operator<<(std::ostream& os, const Matrix& m);

@@ -68,6 +68,13 @@ ByteSpan PayloadArena::alloc(std::size_t n) {
   return s;
 }
 
+std::vector<ByteSpan> PayloadArena::alloc_rows(std::size_t count,
+                                               std::size_t n) {
+  std::vector<ByteSpan> rows(count);
+  for (ByteSpan& row : rows) row = alloc(n);
+  return rows;
+}
+
 ByteSpan PayloadArena::copy(ConstByteSpan src) {
   if (src.empty()) return {};
   ByteSpan s = alloc_uninit(src.size());

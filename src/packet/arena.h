@@ -49,6 +49,11 @@ class PayloadArena {
   /// Like alloc(), but uninitialised — for spans the caller fully writes.
   ByteSpan alloc_uninit(std::size_t n);
 
+  /// `count` zeroed spans of `n` bytes each — the "one span per output
+  /// row" allocation of the fused encode paths (gf::encode and friends).
+  [[nodiscard]] std::vector<ByteSpan> alloc_rows(std::size_t count,
+                                                 std::size_t n);
+
   /// Allocate and copy `src` into the arena.
   ByteSpan copy(ConstByteSpan src);
 

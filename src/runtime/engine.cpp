@@ -21,8 +21,13 @@ RunStats run_scenario(const Scenario& scenario, const RunOptions& options,
   std::size_t n_cases = plan.size();
   if (options.limit != 0 && options.limit < n_cases) n_cases = options.limit;
 
-  const std::size_t threads =
+  // More workers than cases is pure overhead, and kMaxRunThreads bounds
+  // runaway requests (e.g. a wrapped negative); neither clamp can change
+  // any output byte — the sink re-orders by case index.
+  std::size_t threads =
       options.threads == 0 ? TaskPool::hardware_threads() : options.threads;
+  threads = std::min(threads, kMaxRunThreads);
+  threads = std::min(threads, std::max<std::size_t>(n_cases, 1));
 
   const auto t0 = std::chrono::steady_clock::now();
 

@@ -17,6 +17,12 @@
 
 namespace thinair::runtime {
 
+/// Hard ceiling on worker threads one run will spawn. Output is
+/// thread-count-invariant (the determinism contract), so the engine
+/// clamps rather than errors; the CLI rejects requests beyond it up
+/// front so typos fail loudly.
+inline constexpr std::size_t kMaxRunThreads = 1024;
+
 struct RunOptions {
   std::size_t threads = 0;        // 0 = hardware concurrency
   std::uint64_t master_seed = 1;

@@ -1,0 +1,20 @@
+#include "util/ksubset.h"
+
+namespace thinair::util {
+
+bool next_k_subset(std::span<std::size_t> pick, std::size_t n) {
+  const std::size_t k = pick.size();
+  // Rightmost position not yet at its maximum value (i + n - k) can be
+  // bumped; everything after it restarts densely.
+  for (std::size_t i = k; i > 0;) {
+    --i;
+    if (pick[i] != i + n - k) {
+      ++pick[i];
+      for (std::size_t j = i + 1; j < k; ++j) pick[j] = pick[j - 1] + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace thinair::util

@@ -1,0 +1,29 @@
+#pragma once
+// Lexicographic k-subset enumeration.
+//
+// Two estimators walk every k-subset of a candidate set (k-antenna Eve
+// hypotheses: terminal subsets in KSubsetEstimator, free-cell subsets in
+// GeometryEstimator). Both used to carry their own copy of the "next
+// combination" step, one of them with a redundant double-checked
+// termination test; this is the single shared implementation, exhaustively
+// checked against std::prev_permutation in tests/util_test.cpp.
+
+#include <cstddef>
+#include <span>
+
+namespace thinair::util {
+
+/// Advance `pick` — a strictly increasing k-subset of [0, n) — to the
+/// next subset in lexicographic order. Returns false (leaving `pick`
+/// unchanged) when `pick` is already the last subset {n-k, ..., n-1}.
+/// The canonical loop:
+///
+///   std::vector<std::size_t> pick(k);
+///   std::iota(pick.begin(), pick.end(), 0);   // first subset
+///   do { ... } while (next_k_subset(pick, n));
+///
+/// k == 0 enumerates exactly one (empty) subset. Requires k <= n and
+/// `pick` strictly increasing with pick.back() < n.
+bool next_k_subset(std::span<std::size_t> pick, std::size_t n);
+
+}  // namespace thinair::util

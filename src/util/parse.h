@@ -1,0 +1,25 @@
+#pragma once
+// Strict numeric argument parsing.
+//
+// The CLI used to lean on strtoull, which quietly skips leading
+// whitespace and accepts a sign: `--threads -1` wrapped to 2^64 - 1 and
+// `--seed -1` silently ran a huge seed. These parsers accept decimal
+// digits only — no whitespace, no '+'/'-', no trailing garbage, and no
+// silent wraparound on overflow — and live in the library so they can be
+// unit-tested (tests/cli_args_test.cpp).
+
+#include <cstdint>
+#include <string_view>
+
+namespace thinair::util {
+
+/// Parse `text` as a base-10 std::uint64_t. Returns false — leaving `out`
+/// untouched — unless `text` is one or more decimal digits whose value
+/// fits 64 bits.
+bool parse_u64(std::string_view text, std::uint64_t& out);
+
+/// parse_u64 plus an inclusive [min, max] range check.
+bool parse_u64_in(std::string_view text, std::uint64_t min,
+                  std::uint64_t max, std::uint64_t& out);
+
+}  // namespace thinair::util

@@ -10,10 +10,12 @@
 #include <algorithm>
 #include <cstring>
 #include <sstream>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "channel/rng.h"
+#include "gf/encode.h"
 #include "packet/arena.h"
 #include "packet/combination.h"
 #include "runtime/engine.h"
@@ -94,6 +96,115 @@ TEST(Kernels, DifferentialEquivalenceAllCoefficients) {
   }
 }
 
+// The fused multi-row satellite test: for every kernel, mad_multi over
+// k in 1..kMaxFusedRows rows must be byte-identical to k repeated axpy
+// calls, across a 0..8 KiB size ladder, unaligned offsets, and
+// coefficient patterns that include 0 (skipped rows) and 1 (xor rows).
+TEST(Kernels, MadMultiEqualsRepeatedAxpy) {
+  const gf::Kernel& ref = gf::scalar_kernel();
+  constexpr std::size_t kSizes[] = {0,  1,   7,   8,    15,  16,  17,
+                                    31, 32,  33,  63,   64,  65,  100,
+                                    255, 256, 1000, 4096, 8192};
+  constexpr std::size_t kOffsets[] = {0, 1, 3};
+  constexpr std::size_t kMax = 8192 + 8;
+  const std::vector<std::uint8_t> x_base = random_bytes(kMax, 55);
+
+  channel::Rng coeff_rng(66);
+  for (const gf::Kernel* kernel : gf::all_kernels()) {
+    SCOPED_TRACE(kernel->name);
+    for (std::size_t k = 1; k <= gf::kMaxFusedRows; ++k) {
+      for (const std::size_t n : kSizes) {
+        for (const std::size_t off : kOffsets) {
+          std::uint8_t c[gf::kMaxFusedRows];
+          for (std::size_t r = 0; r < k; ++r) {
+            // Exercise the special values alongside random coefficients.
+            const std::uint8_t roll = coeff_rng.next_byte();
+            c[r] = roll < 32 ? std::uint8_t{0}
+                   : roll < 64 ? std::uint8_t{1}
+                               : coeff_rng.next_byte();
+          }
+          std::vector<std::vector<std::uint8_t>> want, got;
+          std::uint8_t* ys[gf::kMaxFusedRows];
+          for (std::size_t r = 0; r < k; ++r) {
+            want.push_back(random_bytes(kMax, 100 + r));
+            got.push_back(want.back());
+          }
+          const std::uint8_t* x = x_base.data() + off;
+          for (std::size_t r = 0; r < k; ++r)
+            ref.axpy(c[r], x, want[r].data() + off, n);
+          for (std::size_t r = 0; r < k; ++r) ys[r] = got[r].data() + off;
+          kernel->mad_multi(c, k, x, ys, n);
+          ASSERT_EQ(want, got) << "k=" << k << " n=" << n << " off=" << off;
+        }
+      }
+    }
+  }
+}
+
+// mad_multi must also tile batches larger than kMaxFusedRows on its own.
+TEST(Kernels, MadMultiTilesLargeBatches) {
+  const std::size_t k = 2 * gf::kMaxFusedRows + 3;
+  const std::size_t n = 777;
+  const std::vector<std::uint8_t> x = random_bytes(n, 7);
+  std::vector<std::uint8_t> c;
+  for (std::size_t r = 0; r < k; ++r)
+    c.push_back(static_cast<std::uint8_t>(r * 13 % 256));
+  for (const gf::Kernel* kernel : gf::all_kernels()) {
+    SCOPED_TRACE(kernel->name);
+    std::vector<std::vector<std::uint8_t>> want, got;
+    std::vector<std::uint8_t*> ys(k);
+    for (std::size_t r = 0; r < k; ++r) {
+      want.push_back(random_bytes(n, 300 + r));
+      got.push_back(want.back());
+      gf::scalar_kernel().axpy(c[r], x.data(), want[r].data(), n);
+    }
+    for (std::size_t r = 0; r < k; ++r) ys[r] = got[r].data();
+    kernel->mad_multi(c.data(), k, x.data(), ys.data(), n);
+    EXPECT_EQ(want, got);
+  }
+}
+
+// gf::encode vs the naive row-by-row axpy evaluation, on a matrix with
+// zero rows, zero columns and dense blocks mixed.
+TEST(Encode, MatchesRowByRowAxpy) {
+  packet::PayloadArena arena;
+  channel::Rng rng(88);
+  const std::size_t rows = 21, cols = 13, payload = 300;
+  gf::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      if (rng.bernoulli(0.7)) m.set(i, j, gf::GF256(rng.next_byte()));
+  std::vector<std::vector<std::uint8_t>> in_data;
+  std::vector<packet::ConstByteSpan> ins;
+  for (std::size_t j = 0; j < cols; ++j) {
+    in_data.push_back(random_bytes(payload, 500 + j));
+    ins.push_back(in_data.back());
+  }
+
+  std::vector<std::vector<std::uint8_t>> want(
+      rows, std::vector<std::uint8_t>(payload, 0));
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j)
+      gf::axpy(m.at(i, j), ins[j].data(), want[i].data(), payload);
+
+  const std::vector<packet::ConstByteSpan> got =
+      gf::encode(m, ins, payload, arena);
+  ASSERT_EQ(got.size(), rows);
+  for (std::size_t i = 0; i < rows; ++i)
+    EXPECT_TRUE(std::equal(want[i].begin(), want[i].end(), got[i].begin(),
+                           got[i].end()))
+        << "row " << i;
+
+  // Shape and size mismatches are rejected.
+  std::vector<packet::ConstByteSpan> short_ins(ins.begin(), ins.end() - 1);
+  EXPECT_THROW((void)gf::encode(m, short_ins, payload, arena),
+               std::invalid_argument);
+  std::vector<packet::ConstByteSpan> bad = ins;
+  bad[0] = bad[0].subspan(1);
+  EXPECT_THROW((void)gf::encode(m, bad, payload, arena),
+               std::invalid_argument);
+}
+
 TEST(Kernels, AxpyMatchesFieldDefinition) {
   // Spot-check the kernels against scalar field arithmetic directly.
   const std::vector<std::uint8_t> x = random_bytes(257, 33);
@@ -164,6 +275,20 @@ TEST(PayloadArena, OddSizedBlocksAndTailAllocsStayInBounds) {
     ASSERT_LE(reinterpret_cast<std::uintptr_t>(got[i - 1].first) +
                   got[i - 1].second,
               reinterpret_cast<std::uintptr_t>(got[i].first));
+}
+
+TEST(PayloadArena, AllocRowsHandsOutDistinctZeroedSpans) {
+  packet::PayloadArena arena;
+  const std::vector<packet::ByteSpan> rows = arena.alloc_rows(9, 100);
+  ASSERT_EQ(rows.size(), 9u);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].size(), 100u);
+    for (std::uint8_t b : rows[i]) ASSERT_EQ(b, 0);
+    std::memset(rows[i].data(), static_cast<int>(i + 1), rows[i].size());
+  }
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    for (std::uint8_t b : rows[i]) ASSERT_EQ(b, i + 1);  // no overlap
+  EXPECT_TRUE(arena.alloc_rows(0, 8).empty());
 }
 
 TEST(PayloadArena, MarkRewindReclaims) {

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "channel/rng.h"
 
 namespace thinair::gf {
@@ -183,6 +185,53 @@ TEST(Matrix, InvertibleMatchesRank) {
   EXPECT_TRUE(id.invertible());
   EXPECT_FALSE(Matrix::zero(4, 4).invertible());
   EXPECT_FALSE(Matrix(3, 4).invertible());
+}
+
+// Arena-backed storage: same algebra, storage carved from a
+// PayloadArena; copies always re-own on the heap so only the original
+// aliases the arena.
+TEST(Matrix, ArenaBackedMatchesHeapBacked) {
+  packet::PayloadArena arena;
+  const Matrix heap = random_matrix(7, 9, 42);
+  Matrix onarena(7, 9, arena);
+  for (std::size_t i = 0; i < 7; ++i)
+    for (std::size_t j = 0; j < 9; ++j) onarena.set(i, j, heap.at(i, j));
+  EXPECT_EQ(onarena, heap);
+  EXPECT_EQ(onarena.rank(), heap.rank());
+
+  // A copy survives the arena being rewound.
+  const Matrix copy = onarena;
+  const Matrix rhs = random_matrix(9, 5, 43);
+  const Matrix product = onarena.mul(rhs, arena);
+  EXPECT_EQ(product, heap.mul(rhs));
+  arena.reset();
+  EXPECT_EQ(copy, heap);
+}
+
+TEST(Matrix, ArenaBackedRowReduceMatchesHeap) {
+  packet::PayloadArena arena;
+  for (std::uint64_t seed = 1; seed < 6; ++seed) {
+    const Matrix heap = random_matrix(10, 14, seed);
+    Matrix a(10, 14, arena);
+    Matrix b = heap;
+    for (std::size_t i = 0; i < 10; ++i)
+      for (std::size_t j = 0; j < 14; ++j) a.set(i, j, heap.at(i, j));
+    EXPECT_EQ(a.row_reduce(), b.row_reduce());
+    EXPECT_EQ(a, b);
+    arena.reset();
+  }
+}
+
+TEST(Matrix, MoveAndAssignPreserveContents) {
+  const Matrix src = random_matrix(5, 6, 77);
+  Matrix moved = src;
+  Matrix stolen = std::move(moved);
+  EXPECT_EQ(stolen, src);
+  Matrix assigned;
+  assigned = stolen;
+  EXPECT_EQ(assigned, src);
+  assigned = std::move(stolen);
+  EXPECT_EQ(assigned, src);
 }
 
 // Property sweep: for random square matrices, rank(A) == rank(A^T).

@@ -172,6 +172,85 @@ TEST(BuildPool, PoolNeverExceedsFieldLimit) {
   }
 }
 
+// Regression for the phantom-dedup bug: drive build_terminal_mds past the
+// kPoolLimit budget (ceilings sum to 600 > 255, so quotas are scaled) with
+// two receivers whose identical reception sets produce identical rows.
+// Every row the second receiver would emit must be genuinely shared — not
+// silently dropped against a map entry whose pool row was never added —
+// and the truncation must be surfaced per receiver instead of silent.
+TEST(BuildPool, TerminalMdsPastLimitSharesRowsAndReportsTruncation) {
+  std::vector<std::uint32_t> all;
+  for (std::uint32_t i = 0; i < 300; ++i) all.push_back(i);
+  ReceptionTable t(T(0), {T(1), T(2)}, 300);
+  t.set_received(T(1), all);
+  t.set_received(T(2), all);
+  const FractionEstimator est(1.0);  // wants 300 + 300 y-packets
+  const PoolBuildResult r = build_pool(t, est, PoolStrategy::kTerminalMds);
+
+  // Quotas scale to floor(300 * 255 / 600) = 127 each; receiver 2's rows
+  // are all identical to receiver 1's, so the pool holds 127 shared rows.
+  ASSERT_EQ(r.allocations.size(), 2u);
+  EXPECT_EQ(r.pool.size(), 127u);
+  EXPECT_EQ(r.allocations[0].allocated, 127u);
+  EXPECT_EQ(r.allocations[1].allocated, 0u);  // all deduped, none dropped
+  // No phantom drops: every row must be reconstructible by BOTH receivers.
+  EXPECT_EQ(r.pool.count_for(T(1)), 127u);
+  EXPECT_EQ(r.pool.count_for(T(2)), 127u);
+  // The budget cut each receiver below its ceiling — loudly.
+  EXPECT_TRUE(r.allocations[0].limit_hit);
+  EXPECT_TRUE(r.allocations[1].limit_hit);
+  EXPECT_EQ(r.ceilings, (std::vector<std::size_t>{300, 300}));
+  EXPECT_EQ(r.allocations[0].cap, 127u);  // the scaled quota
+}
+
+// Overlapping prefixes: receiver 2's first rows coincide with receiver
+// 1's Vandermonde rows over the same chunk and must be shared; its extra
+// quota then mints new rows. Nothing may be dropped as a false duplicate.
+TEST(BuildPool, TerminalMdsSharesPrefixRowsAcrossReceivers) {
+  std::vector<std::uint32_t> small, big;
+  for (std::uint32_t i = 0; i < 255; ++i) small.push_back(i);
+  for (std::uint32_t i = 0; i < 300; ++i) big.push_back(i);
+  ReceptionTable t(T(0), {T(1), T(2)}, 300);
+  t.set_received(T(1), small);
+  t.set_received(T(2), big);
+  const FractionEstimator est(1.0);  // ceilings 255 + 300 = 555 > 255
+  const PoolBuildResult r = build_pool(t, est, PoolStrategy::kTerminalMds);
+
+  // Scaled quotas: floor(255*255/555) = 117, floor(300*255/555) = 137.
+  // Receiver 2's first chunk is receiver 1's exact reception set, so its
+  // first 117 rows are the same Vandermonde rows (row i depends only on
+  // the chunk and i) and dedup must share them; 137 - 117 = 20 are new.
+  ASSERT_EQ(r.allocations.size(), 2u);
+  EXPECT_EQ(r.allocations[0].allocated, 117u);
+  EXPECT_EQ(r.allocations[1].allocated, 20u);
+  EXPECT_EQ(r.pool.size(), 137u);
+  EXPECT_EQ(r.pool.count_for(T(1)), 137u);  // audience covers T1 everywhere
+  EXPECT_EQ(r.pool.count_for(T(2)), 137u);
+  EXPECT_TRUE(r.allocations[0].limit_hit);
+  EXPECT_TRUE(r.allocations[1].limit_hit);
+}
+
+// Class-shared truncation is surfaced the same way.
+TEST(BuildPool, ClassSharedReportsLimitHit) {
+  std::vector<std::uint32_t> all;
+  for (std::uint32_t i = 0; i < 300; ++i) all.push_back(i);
+  ReceptionTable t(T(0), {T(1), T(2)}, 300);
+  t.set_received(T(1), all);
+  t.set_received(T(2), all);
+  const FractionEstimator est(1.0);
+  const PoolBuildResult r = build_pool(t, est, PoolStrategy::kClassShared);
+  EXPECT_LE(r.pool.size(), 255u);
+  ASSERT_FALSE(r.allocations.empty());
+  bool any_hit = false;
+  for (const PoolAllocation& a : r.allocations) any_hit |= a.limit_hit;
+  EXPECT_TRUE(any_hit);
+
+  // And with a comfortable budget, no limit is reported.
+  const FractionEstimator small_est(0.1);
+  const PoolBuildResult ok = build_pool(t, small_est, PoolStrategy::kClassShared);
+  for (const PoolAllocation& a : ok.allocations) EXPECT_FALSE(a.limit_hit);
+}
+
 TEST(BuildPool, StrategyNames) {
   EXPECT_EQ(to_string(PoolStrategy::kClassShared), "class-shared");
   EXPECT_EQ(to_string(PoolStrategy::kTerminalMds), "terminal-mds");

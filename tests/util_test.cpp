@@ -2,9 +2,12 @@
 // secret pool.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
+#include <vector>
 
 #include "core/secret.h"
+#include "util/ksubset.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -120,6 +123,45 @@ TEST(SecretPool, Key128Helper) {
   pool.deposit(std::vector<std::uint8_t>(20, 7));
   EXPECT_TRUE(pool.draw_key128().has_value());
   EXPECT_FALSE(pool.draw_key128().has_value());
+}
+
+// Exhaustive check of the shared k-subset walker: for every (n, k) with
+// n <= 8, the enumerated subsets must match, in order and count, the
+// subsets generated from std::prev_permutation over a selection mask
+// (prev_permutation of a descending-sorted mask yields k-subsets in
+// lexicographic position order).
+TEST(NextKSubset, MatchesPrevPermutationExhaustively) {
+  for (std::size_t n = 0; n <= 8; ++n) {
+    for (std::size_t k = 0; k <= n; ++k) {
+      // Reference enumeration via permutations of a {1 x k, 0 x (n-k)} mask.
+      std::vector<std::vector<std::size_t>> want;
+      std::vector<int> mask(n, 0);
+      for (std::size_t i = 0; i < k; ++i) mask[i] = 1;
+      do {
+        std::vector<std::size_t> subset;
+        for (std::size_t i = 0; i < n; ++i)
+          if (mask[i] == 1) subset.push_back(i);
+        want.push_back(std::move(subset));
+      } while (std::prev_permutation(mask.begin(), mask.end()));
+
+      std::vector<std::vector<std::size_t>> got;
+      std::vector<std::size_t> pick(k);
+      for (std::size_t i = 0; i < k; ++i) pick[i] = i;
+      do {
+        got.emplace_back(pick.begin(), pick.end());
+      } while (util::next_k_subset(pick, n));
+
+      EXPECT_EQ(got, want) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(NextKSubset, LastSubsetStopsAndStaysPut) {
+  std::vector<std::size_t> pick{2, 3, 4};  // the last 3-subset of [0, 5)
+  EXPECT_FALSE(util::next_k_subset(pick, 5));
+  EXPECT_EQ(pick, (std::vector<std::size_t>{2, 3, 4}));
+  std::vector<std::size_t> empty;
+  EXPECT_FALSE(util::next_k_subset(empty, 4));  // k == 0: one empty subset
 }
 
 }  // namespace

@@ -12,7 +12,6 @@
 // rows are emitted in case-index order. Timing goes to stderr so stdout
 // stays byte-comparable across runs.
 
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -23,6 +22,7 @@
 #include "gf/kernels.h"
 #include "runtime/engine.h"
 #include "runtime/scenarios.h"
+#include "util/parse.h"
 
 namespace {
 
@@ -33,7 +33,7 @@ int usage(const char* argv0) {
                "usage: %s list\n"
                "       %s run SCENARIO [--threads N] [--seed S]\n"
                "           [--out FILE|-] [--limit K] [--quiet]\n"
-               "           [--kernel scalar|portable|ssse3|avx2|auto]\n"
+               "           [--kernel scalar|portable|ssse3|avx2|gfni|auto]\n"
                "       %s kernels\n"
                "--kernel (or THINAIR_GF_KERNEL) retargets the GF(2^8) bulk\n"
                "kernels; output is byte-identical across kernels.\n",
@@ -65,14 +65,12 @@ struct RunArgs {
   bool quiet = false;  // suppress the summary table
 };
 
-/// Strict decimal parse — rejects empty strings and trailing garbage, so
-/// `--seed banana` fails loudly instead of silently running seed 0.
+/// Strict decimal parse (util::parse_u64) — rejects empty strings,
+/// whitespace, '+'/'-' signs, trailing garbage and 64-bit overflow, so
+/// `--seed banana` and `--threads -1` fail loudly instead of silently
+/// running seed 0 or requesting 2^64 - 1 threads.
 bool parse_u64(const char* text, std::uint64_t& out) {
-  if (text == nullptr || *text == '\0') return false;
-  char* end = nullptr;
-  errno = 0;
-  out = std::strtoull(text, &end, 10);
-  return errno == 0 && *end == '\0';
+  return text != nullptr && util::parse_u64(text, out);
 }
 
 bool parse_run_args(int argc, char** argv, RunArgs& args) {
@@ -93,7 +91,13 @@ bool parse_run_args(int argc, char** argv, RunArgs& args) {
     } else if (flag == "--threads") {
       std::uint64_t n = 0;
       const char* v = value();
-      if (!parse_u64(v, n)) return bad_number(v);
+      if (v == nullptr ||
+          !util::parse_u64_in(v, 0, runtime::kMaxRunThreads, n)) {
+        std::fprintf(stderr,
+                     "--threads %s: want an integer in [0, %zu] (0 = auto)\n",
+                     v == nullptr ? "(missing)" : v, runtime::kMaxRunThreads);
+        return false;
+      }
       args.options.threads = n;
     } else if (flag == "--seed") {
       const char* v = value();
