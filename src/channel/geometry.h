@@ -55,6 +55,8 @@ class CellGrid {
   /// All 9 cell centres, by index.
   [[nodiscard]] std::vector<Vec2> centers() const;
 
+  friend bool operator==(const CellGrid&, const CellGrid&) = default;
+
  private:
   double side_;
 };

@@ -39,6 +39,9 @@ struct InterfererParams {
   // noise — that residual randomness is what makes every receiver
   // (including Eve) miss a nonzero fraction of every packet class.
   double sidelobe_rejection_db = 26.0;
+
+  friend bool operator==(const InterfererParams&,
+                         const InterfererParams&) = default;
 };
 
 /// The rotating row/column jamming schedule.

@@ -21,6 +21,9 @@ struct PathLossParams {
   double ref_loss_db = 40.3;     // free-space loss at 1 m, 2.472 GHz
   double exponent = 2.0;         // small-room line of sight (waveguiding)
   double min_distance_m = 0.1;   // clamp to avoid singularities
+
+  friend bool operator==(const PathLossParams&,
+                         const PathLossParams&) = default;
 };
 
 class LogDistancePathLoss {

@@ -18,6 +18,8 @@ struct SinrParams {
   double per_scale_db = 3.5;       // indoor multipath fading spread
   double floor = 0.005;            // residual loss on perfect links
   double ceiling = 0.94;           // capture effect: jamming rarely hits 100%
+
+  friend bool operator==(const SinrParams&, const SinrParams&) = default;
 };
 
 /// Packet error rate for the given SINR (dB) under `params`; monotonically

@@ -26,6 +26,8 @@ class TestbedChannel final : public ErasureModel {
     InterfererParams interferer{};
     SinrParams sinr{};
     bool interference_enabled = true;
+
+    friend bool operator==(const Config&, const Config&) = default;
   };
 
   TestbedChannel() : TestbedChannel(Config{}) {}

@@ -30,6 +30,7 @@
 // is exactly the paper's reliability metric.
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/estimator.h"
@@ -118,6 +119,11 @@ struct PoolAllocation {
 enum class PoolStrategy : std::uint8_t { kClassShared, kTerminalMds };
 
 [[nodiscard]] std::string_view to_string(PoolStrategy s);
+
+/// Inverse of to_string: "class-shared" or "terminal-mds". nullopt when
+/// `name` keys no strategy.
+[[nodiscard]] std::optional<PoolStrategy> pool_strategy_from_string(
+    std::string_view name);
 
 struct PoolBuildResult {
   YPool pool;

@@ -33,6 +33,8 @@ struct MacParams {
   double per_frame_overhead_s = 192e-6;  // PLCP preamble + header at 1 Mbps
   double inter_frame_gap_s = 50e-6;      // DIFS-like spacing
   double slot_duration_s = 12e-3;        // interference rotation period
+
+  friend bool operator==(const MacParams&, const MacParams&) = default;
 };
 
 class Medium {

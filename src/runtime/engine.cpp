@@ -20,6 +20,7 @@ RunStats run_scenario(const Scenario& scenario, const RunOptions& options,
   const SweepPlan plan = scenario.plan();
   std::size_t n_cases = plan.size();
   if (options.limit != 0 && options.limit < n_cases) n_cases = options.limit;
+  if (n_cases < plan.size()) sink.mark_truncated(n_cases, plan.size());
 
   // More workers than cases is pure overhead, and kMaxRunThreads bounds
   // runaway requests (e.g. a wrapped negative); neither clamp can change
@@ -66,6 +67,7 @@ RunStats run_scenario(const Scenario& scenario, const RunOptions& options,
   const auto t1 = std::chrono::steady_clock::now();
   RunStats stats;
   stats.cases = n_cases;
+  stats.plan_cases = plan.size();
   stats.threads = threads;
   stats.wall_s = std::chrono::duration<double>(t1 - t0).count();
   return stats;

@@ -32,9 +32,14 @@ struct RunOptions {
 };
 
 struct RunStats {
-  std::size_t cases = 0;
+  std::size_t cases = 0;       // cases actually run (after --limit)
+  std::size_t plan_cases = 0;  // cases the plan holds
   std::size_t threads = 0;
   double wall_s = 0.0;
+
+  /// True when --limit cut the plan short — per-group summaries then
+  /// cover partial groups (the sink stamps the NDJSON accordingly).
+  [[nodiscard]] bool truncated() const { return cases < plan_cases; }
 
   [[nodiscard]] double cases_per_s() const {
     return wall_s > 0.0 ? static_cast<double>(cases) / wall_s : 0.0;

@@ -101,12 +101,30 @@ void ResultSink::emit(const CaseSpec& spec, const CaseResult& result) {
   for (const Metric& m : result.metrics) group->metrics[m.name].add(m.value);
 }
 
+void ResultSink::mark_truncated(std::size_t run_cases,
+                                std::size_t plan_cases) {
+  std::lock_guard lock(mu_);
+  if (run_cases >= plan_cases)
+    throw std::logic_error("ResultSink::mark_truncated: nothing truncated");
+  truncated_plan_cases_ = plan_cases;
+}
+
 void ResultSink::finish() {
   std::lock_guard lock(mu_);
   if (!pending_.empty())
     throw std::logic_error("ResultSink::finish: missing case " +
                            std::to_string(next_emit_));
-  if (ndjson_ != nullptr) ndjson_->flush();
+  if (ndjson_ != nullptr) {
+    // A truncated run's per-group aggregates cover partial groups;
+    // stamp that into the stream so downstream readers cannot mistake
+    // the file for a full sweep. Full runs emit no footer, keeping
+    // their bytes identical to pre-footer versions.
+    if (truncated_plan_cases_ != 0)
+      *ndjson_ << "{\"scenario\":\"" << json_escape(scenario_name_)
+               << "\",\"truncated\":true,\"cases\":" << next_emit_
+               << ",\"plan_cases\":" << truncated_plan_cases_ << "}\n";
+    ndjson_->flush();
+  }
 }
 
 std::size_t ResultSink::cases() const {
@@ -127,6 +145,9 @@ void ResultSink::print_summary(std::ostream& os) const {
     }
   }
   t.print(os);
+  if (truncated_plan_cases_ != 0)
+    os << "\ntruncated: summaries cover the first " << next_emit_ << " of "
+       << truncated_plan_cases_ << " cases (group rows are partial)\n";
 }
 
 }  // namespace thinair::runtime

@@ -41,6 +41,13 @@ class ResultSink {
   /// pushed exactly once.
   void push(const CaseSpec& spec, const CaseResult& result);
 
+  /// Declare that this run covers only the first `run_cases` of the
+  /// plan's `plan_cases` (--limit): finish() appends a one-line
+  /// {"truncated":true,...} footer to the NDJSON stream and
+  /// print_summary flags the group rows as partial. Without this call a
+  /// full run's output bytes are unchanged.
+  void mark_truncated(std::size_t run_cases, std::size_t plan_cases);
+
   /// Flush the stream. Throws std::logic_error if indices emitted so far
   /// are not the contiguous range [0, cases()) — i.e. a case was lost.
   void finish();
@@ -71,6 +78,7 @@ class ResultSink {
   std::ostream* ndjson_;
 
   mutable std::mutex mu_;
+  std::size_t truncated_plan_cases_ = 0;  // 0 = not truncated
   std::size_t next_emit_ = 0;
   std::map<std::size_t, std::pair<CaseSpec, CaseResult>> pending_;
   std::vector<GroupSummary> groups_;

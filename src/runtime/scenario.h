@@ -41,11 +41,17 @@ struct CaseResult {
 /// Value of the metric called `name`; throws std::out_of_range if absent.
 [[nodiscard]] double metric(const CaseResult& result, const std::string& name);
 
+struct ScenarioSpec;  // runtime/scenario_spec.h
+
 struct Scenario {
   std::string name;
   std::string description;
   std::function<SweepPlan()> plan;
   std::function<CaseResult(const CaseSpec&)> run;
+  /// The declarative source this scenario was compiled from, when it came
+  /// through compile() (runtime/scenario_spec.h); null for hand-written
+  /// scenarios. What `thinair describe` dumps and `--set` overrides.
+  std::shared_ptr<const ScenarioSpec> spec;
 };
 
 /// Process-wide scenario registry. Registration is not thread-safe (do it

@@ -1,0 +1,474 @@
+#include "runtime/scenario_spec.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "analysis/efficiency.h"
+#include "core/session.h"
+#include "core/unicast.h"
+#include "net/medium.h"
+#include "runtime/engine.h"
+#include "runtime/seed.h"
+#include "testbed/experiment.h"
+#include "testbed/placements.h"
+
+namespace thinair::runtime {
+
+// ------------------------------------------------------------- enum names
+
+std::string_view to_string(Baseline b) {
+  switch (b) {
+    case Baseline::kGroup: return "group";
+    case Baseline::kUnicast: return "unicast";
+    case Baseline::kBoth: return "both";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(MetricSet m) {
+  switch (m) {
+    case MetricSet::kSession: return "session";
+    case MetricSet::kEfficiency: return "efficiency";
+  }
+  return "unknown";
+}
+
+std::optional<Baseline> baseline_from_string(std::string_view name) {
+  for (const Baseline b : {Baseline::kGroup, Baseline::kUnicast, Baseline::kBoth})
+    if (name == to_string(b)) return b;
+  return std::nullopt;
+}
+
+std::optional<MetricSet> metric_set_from_string(std::string_view name) {
+  for (const MetricSet m : {MetricSet::kSession, MetricSet::kEfficiency})
+    if (name == to_string(m)) return m;
+  return std::nullopt;
+}
+
+// --------------------------------------------------------- fluent builder
+
+ScenarioSpec& ScenarioSpec::with_name(std::string n) {
+  name = std::move(n);
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::with_description(std::string d) {
+  description = std::move(d);
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::on_iid(double p) {
+  channel.model = channel::ChannelModelKind::kIid;
+  channel.iid_p = p;
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::on_per_link(
+    double default_p, std::vector<channel::LinkErasure> links) {
+  channel.model = channel::ChannelModelKind::kPerLink;
+  channel.default_p = default_p;
+  channel.links = std::move(links);
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::on_testbed(channel::TestbedChannel::Config config) {
+  channel.model = channel::ChannelModelKind::kTestbed;
+  channel.testbed = config;
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::with_n(std::vector<std::size_t> values) {
+  topology.n_values = std::move(values);
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::with_n_range(std::size_t lo, std::size_t hi) {
+  topology.n_values.clear();
+  for (std::size_t n = lo; n <= hi; ++n) topology.n_values.push_back(n);
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::with_placement_cap(std::size_t cap) {
+  topology.max_placements = cap;
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::at_cells(std::vector<std::size_t> cells,
+                                     std::size_t eve_cell) {
+  topology.cells = std::move(cells);
+  topology.eve_cell = eve_cell;
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::with_estimator(core::EstimatorKind kind,
+                                           std::size_t max_placements) {
+  estimator.series = {{kind, max_placements}};
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::add_estimator(core::EstimatorKind kind,
+                                          std::size_t max_placements) {
+  estimator.series.push_back({kind, max_placements});
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::with_session(SessionSpec s) {
+  session = s;
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::with_pool(core::PoolStrategy pool) {
+  session.pool = pool;
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::sweep_p(std::vector<double> values) {
+  sweep.p_values = std::move(values);
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::with_repeats(std::size_t repeats) {
+  sweep.repeats = repeats;
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::with_baseline(Baseline b) {
+  output.baseline = b;
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::with_metrics(MetricSet m) {
+  output.metrics = m;
+  return *this;
+}
+ScenarioSpec& ScenarioSpec::with_analytic(bool on) {
+  output.analytic = on;
+  return *this;
+}
+
+namespace {
+
+// Placement sets are immutable per (n, cap); enumerate each once instead
+// of per case — the headline sweep alone would otherwise rebuild a
+// 630-element placement vector 1971 times inside the parallel hot path.
+const std::vector<testbed::Placement>& cached_placements(
+    std::size_t n, std::size_t max_placements) {
+  static std::mutex mu;
+  static std::map<std::pair<std::size_t, std::size_t>,
+                  std::vector<testbed::Placement>>
+      cache;
+  std::lock_guard lock(mu);
+  auto [it, inserted] = cache.try_emplace({n, max_placements});
+  if (inserted) it->second = testbed::sample_placements(n, max_placements);
+  return it->second;
+}
+
+/// Everything the plan and case functions need, resolved once at compile
+/// time and shared (immutably) by both closures.
+struct Compiled {
+  ScenarioSpec spec;
+  bool testbed = false;          // channel.model == kTestbed
+  bool placement_sweep = false;  // testbed without an explicit placement
+  bool estimator_axis = false;   // > 1 estimator series
+  bool p_axis = false;           // sweep.p non-empty (iid)
+  bool rep_axis = false;         // sweep.repeats > 1
+  testbed::Placement explicit_placement;  // when testbed && !placement_sweep
+};
+
+[[noreturn]] void fail(const ScenarioSpec& spec, const std::string& what) {
+  throw std::invalid_argument(
+      (spec.name.empty() ? std::string("spec") : spec.name) + ": " + what);
+}
+
+std::size_t series_cap(const Compiled& c, const EstimatorSeries& series) {
+  return series.max_placements != 0 ? series.max_placements
+                                    : c.spec.topology.max_placements;
+}
+
+Compiled validate(const ScenarioSpec& spec) {
+  Compiled c;
+  c.spec = spec;
+  if (spec.name.empty()) fail(spec, "name is empty");
+  if (spec.estimator.series.empty()) fail(spec, "estimator.series is empty");
+  if (spec.sweep.repeats < 1) fail(spec, "sweep.repeats must be >= 1");
+  if (spec.estimator.k_antennas < 1)
+    fail(spec, "estimator.k_antennas must be >= 1");
+  if (spec.session.x_packets < 1) fail(spec, "session.x_packets must be >= 1");
+  if (spec.session.payload_bytes < 1)
+    fail(spec, "session.payload_bytes must be >= 1");
+
+  const bool iid = spec.channel.model == channel::ChannelModelKind::kIid;
+  c.testbed = spec.channel.model == channel::ChannelModelKind::kTestbed;
+  c.estimator_axis = spec.estimator.series.size() > 1;
+  c.rep_axis = spec.sweep.repeats > 1;
+
+  if (!spec.sweep.p_values.empty()) {
+    if (!iid) fail(spec, "sweep.p requires channel.model = iid");
+    for (const double p : spec.sweep.p_values)
+      if (!(p >= 0.0 && p <= 1.0)) fail(spec, "sweep.p value outside [0, 1]");
+    c.p_axis = true;
+  }
+  if (iid && !(spec.channel.iid_p >= 0.0 && spec.channel.iid_p <= 1.0))
+    fail(spec, "channel.p outside [0, 1]");
+  if (spec.channel.model == channel::ChannelModelKind::kPerLink) {
+    if (!(spec.channel.default_p >= 0.0 && spec.channel.default_p <= 1.0))
+      fail(spec, "channel.default_p outside [0, 1]");
+    for (const channel::LinkErasure& link : spec.channel.links)
+      if (!(link.p >= 0.0 && link.p <= 1.0))
+        fail(spec, "channel.links probability outside [0, 1]");
+  }
+  if (spec.output.analytic &&
+      (!iid || spec.output.metrics != MetricSet::kEfficiency))
+    fail(spec,
+         "output.analytic requires channel.model = iid and output.metrics = "
+         "efficiency");
+  if (!c.testbed)
+    for (const EstimatorSeries& series : spec.estimator.series)
+      if (series.kind == core::EstimatorKind::kGeometry)
+        fail(spec, "estimator 'geometry' requires channel.model = testbed");
+
+  const bool explicit_topology =
+      !spec.topology.cells.empty() || !spec.topology.positions.empty();
+  if (explicit_topology && !c.testbed)
+    fail(spec, "topology.cells/positions require channel.model = testbed");
+
+  if (c.testbed && explicit_topology) {
+    std::vector<std::size_t> cells = spec.topology.cells;
+    std::size_t eve_cell = spec.topology.eve_cell;
+    const channel::CellGrid& grid = spec.channel.testbed.grid;
+    if (cells.empty())  // derive the logical cells from the coordinates
+      for (const channel::Vec2 pos : spec.topology.positions)
+        cells.push_back(grid.cell_of(pos).value);
+    if (spec.topology.eve_position.has_value())
+      eve_cell = grid.cell_of(*spec.topology.eve_position).value;
+    if (!spec.topology.positions.empty() &&
+        spec.topology.positions.size() != cells.size())
+      fail(spec, "topology.positions must align with topology.cells");
+    if (cells.size() < 2 || cells.size() > 8)
+      fail(spec, "explicit placement needs 2 to 8 terminals");
+    testbed::Placement placement;
+    for (const std::size_t cell : cells)
+      placement.terminal_cells.push_back(channel::CellIndex{cell});
+    placement.eve_cell = channel::CellIndex{eve_cell};
+    if (!placement.valid())
+      fail(spec,
+           "explicit placement is invalid (one distinct cell per node, Eve "
+           "in her own)");
+    c.explicit_placement = std::move(placement);
+  } else {
+    if (spec.topology.n_values.empty()) fail(spec, "topology.n is empty");
+    for (const std::size_t n : spec.topology.n_values) {
+      if (n < 2) fail(spec, "topology.n values must be >= 2");
+      if (c.testbed && n > 8)
+        fail(spec, "topology.n values outside [2, 8] (testbed placements)");
+      // Node ids are 16-bit and Eve takes id n, so n + 1 ids must fit —
+      // caught here so the contract "compile throws nothing at run time
+      // it could have caught" holds for giant placement-free sweeps.
+      if (n > 65534) fail(spec, "topology.n values must be <= 65534");
+    }
+    c.placement_sweep = c.testbed;
+  }
+  return c;
+}
+
+SweepPlan make_plan(const Compiled& c) {
+  const ScenarioSpec& spec = c.spec;
+  SweepPlan plan;
+
+  if (c.placement_sweep) {
+    // Dependent grid (placement count varies with n and the series cap):
+    // explicit points, series-major then n then placement then repetition.
+    for (std::size_t si = 0; si < spec.estimator.series.size(); ++si) {
+      const std::size_t cap = series_cap(c, spec.estimator.series[si]);
+      for (const std::size_t n : spec.topology.n_values) {
+        const std::size_t count = cached_placements(n, cap).size();
+        for (std::size_t pl = 0; pl < count; ++pl) {
+          for (std::size_t rep = 0; rep < spec.sweep.repeats; ++rep) {
+            Params point;
+            if (c.estimator_axis)
+              point.push_back({"estimator", static_cast<double>(si)});
+            point.push_back({"n", static_cast<double>(n)});
+            point.push_back({"placement", static_cast<double>(pl)});
+            if (c.rep_axis) point.push_back({"rep", static_cast<double>(rep)});
+            plan.add_point(std::move(point));
+          }
+        }
+      }
+    }
+    return plan;
+  }
+
+  if (c.testbed) {  // explicit placement: one case per (series, repetition)
+    for (std::size_t si = 0; si < spec.estimator.series.size(); ++si) {
+      for (std::size_t rep = 0; rep < spec.sweep.repeats; ++rep) {
+        Params point;
+        if (c.estimator_axis)
+          point.push_back({"estimator", static_cast<double>(si)});
+        if (c.rep_axis) point.push_back({"rep", static_cast<double>(rep)});
+        plan.add_point(std::move(point));
+      }
+    }
+    return plan;
+  }
+
+  // Placement-free models: a pure cartesian grid.
+  if (c.estimator_axis) {
+    std::vector<double> codes;
+    for (std::size_t si = 0; si < spec.estimator.series.size(); ++si)
+      codes.push_back(static_cast<double>(si));
+    plan.add_axis("estimator", std::move(codes));
+  }
+  std::vector<double> ns;
+  for (const std::size_t n : spec.topology.n_values)
+    ns.push_back(static_cast<double>(n));
+  plan.add_axis("n", std::move(ns));
+  if (c.p_axis) plan.add_axis("p", spec.sweep.p_values);
+  if (c.rep_axis) {
+    std::vector<double> reps;
+    for (std::size_t rep = 0; rep < spec.sweep.repeats; ++rep)
+      reps.push_back(static_cast<double>(rep));
+    plan.add_axis("rep", std::move(reps));
+  }
+  return plan;
+}
+
+core::SessionConfig make_session_config(const Compiled& c,
+                                        const EstimatorSeries& series) {
+  const ScenarioSpec& spec = c.spec;
+  core::SessionConfig cfg;
+  cfg.x_packets_per_round = spec.session.x_packets;
+  cfg.payload_bytes = spec.session.payload_bytes;
+  cfg.rounds = spec.session.rounds;
+  cfg.rotate_alice = spec.session.rotate_alice;
+  cfg.pool_strategy = spec.session.pool;
+  cfg.estimator.kind = series.kind;
+  cfg.estimator.k_antennas = spec.estimator.k_antennas;
+  cfg.estimator.fraction_delta = spec.estimator.fraction_delta;
+  cfg.estimator.loo_safety = spec.estimator.safety;
+  cfg.arena = &worker_arena();  // reset per case by the engine
+  return cfg;
+}
+
+core::SessionResult run_testbed_session(const Compiled& c,
+                                        const EstimatorSeries& series,
+                                        const testbed::Placement& placement,
+                                        std::uint64_t seed, bool unicast) {
+  const ScenarioSpec& spec = c.spec;
+  testbed::ExperimentConfig exp;
+  exp.placement = placement;
+  exp.terminal_positions = spec.topology.positions;
+  exp.eve_position = spec.topology.eve_position;
+  exp.session = make_session_config(c, series);
+  exp.channel = spec.channel.testbed;
+  exp.mac = spec.mac;
+  exp.seed = seed;
+  return (unicast ? run_unicast_experiment(exp) : run_experiment(exp)).session;
+}
+
+core::SessionResult run_flat_session(const Compiled& c,
+                                     const EstimatorSeries& series,
+                                     std::size_t n, double p,
+                                     std::uint64_t seed, bool unicast) {
+  const ScenarioSpec& spec = c.spec;
+  const std::unique_ptr<channel::ErasureModel> model =
+      channel::make_erasure_model(spec.channel.model, p, spec.channel.default_p,
+                                  spec.channel.links);
+  net::Medium medium(*model, channel::Rng(seed), spec.mac);
+  for (std::size_t i = 0; i < n; ++i)
+    medium.attach(packet::NodeId{static_cast<std::uint16_t>(i)},
+                  net::Role::kTerminal);
+  medium.attach(packet::NodeId{static_cast<std::uint16_t>(n)},
+                net::Role::kEavesdropper);
+  const core::SessionConfig cfg = make_session_config(c, series);
+  if (unicast) return core::UnicastSession(medium, cfg).run();
+  return core::GroupSecretSession(medium, cfg).run();
+}
+
+void append_session_metrics(std::vector<Metric>& metrics,
+                            const core::SessionResult& r,
+                            const std::string& prefix) {
+  metrics.push_back({prefix + "reliability", r.reliability()});
+  metrics.push_back({prefix + "efficiency", r.efficiency()});
+  metrics.push_back({prefix + "secret_rate_bps", r.secret_rate_bps()});
+}
+
+CaseResult run_case(const Compiled& c, const CaseSpec& cs) {
+  const ScenarioSpec& spec = c.spec;
+  const std::size_t si =
+      c.estimator_axis
+          ? static_cast<std::size_t>(param(cs.params, "estimator"))
+          : 0;
+  const EstimatorSeries& series = spec.estimator.series[si];
+  const bool both = spec.output.baseline == Baseline::kBoth;
+  const bool unicast_first = spec.output.baseline == Baseline::kUnicast;
+
+  std::size_t n = 0;
+  double p = spec.channel.iid_p;
+  // First (or only) algorithm runs on the case seed; in both-mode the
+  // second run draws from an independent stream so the comparison is
+  // uncorrelated (Figure 1's construction).
+  core::SessionResult first, second;
+  if (c.testbed) {
+    const testbed::Placement& placement =
+        c.placement_sweep
+            ? cached_placements(
+                  static_cast<std::size_t>(param(cs.params, "n")),
+                  series_cap(c, series))
+                  [static_cast<std::size_t>(param(cs.params, "placement"))]
+            : c.explicit_placement;
+    n = placement.n_terminals();
+    first = run_testbed_session(c, series, placement, cs.seed, unicast_first);
+    if (both)
+      second = run_testbed_session(c, series, placement,
+                                   derive_seed2(cs.seed, cs.index), true);
+  } else {
+    n = static_cast<std::size_t>(param(cs.params, "n"));
+    if (c.p_axis) p = param(cs.params, "p");
+    first = run_flat_session(c, series, n, p, cs.seed, unicast_first);
+    if (both)
+      second = run_flat_session(c, series, n, p,
+                                derive_seed2(cs.seed, cs.index), true);
+  }
+
+  CaseResult result;
+  result.group = (c.estimator_axis
+                      ? std::string(core::to_string(series.kind)) + " n="
+                      : std::string("n=")) +
+                 std::to_string(n);
+
+  if (spec.output.metrics == MetricSet::kEfficiency) {
+    const std::size_t payload = spec.session.payload_bytes;
+    if (both) {
+      if (spec.output.analytic)
+        result.metrics.push_back(
+            {"group_analytic", analysis::group_efficiency(p, n)});
+      result.metrics.push_back({"group_sim", first.data_efficiency(payload)});
+      if (spec.output.analytic)
+        result.metrics.push_back(
+            {"unicast_analytic", analysis::unicast_efficiency(p, n)});
+      result.metrics.push_back(
+          {"unicast_sim", second.data_efficiency(payload)});
+    } else {
+      if (spec.output.analytic)
+        result.metrics.push_back(
+            {"analytic", unicast_first ? analysis::unicast_efficiency(p, n)
+                                       : analysis::group_efficiency(p, n)});
+      result.metrics.push_back({"efficiency", first.data_efficiency(payload)});
+    }
+  } else {
+    if (both) {
+      append_session_metrics(result.metrics, first, "group_");
+      append_session_metrics(result.metrics, second, "unicast_");
+    } else {
+      append_session_metrics(result.metrics, first, "");
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Scenario compile(const ScenarioSpec& spec) {
+  const auto c = std::make_shared<const Compiled>(validate(spec));
+  Scenario s;
+  s.name = spec.name;
+  s.description = spec.description;
+  s.spec = std::make_shared<const ScenarioSpec>(spec);
+  s.plan = [c] { return make_plan(*c); };
+  s.run = [c](const CaseSpec& cs) { return run_case(*c, cs); };
+  return s;
+}
+
+void register_spec(const ScenarioSpec& spec) {
+  ScenarioRegistry::instance().add(compile(spec));
+}
+
+}  // namespace thinair::runtime

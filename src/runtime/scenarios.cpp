@@ -1,208 +1,66 @@
 #include "runtime/scenarios.h"
 
-#include <map>
-#include <mutex>
-#include <string>
-#include <utility>
-#include <vector>
-
-#include "analysis/efficiency.h"
-#include "channel/erasure.h"
-#include "core/session.h"
-#include "core/unicast.h"
-#include "net/medium.h"
-#include "runtime/engine.h"
-#include "runtime/seed.h"
-#include "testbed/experiment.h"
-#include "testbed/placements.h"
+#include "core/estimator.h"
+#include "runtime/scenario_spec.h"
 
 namespace thinair::runtime {
 
-namespace {
-
-// ------------------------------------------------------------------ fig1
-// Figure 1: data-plane efficiency of the group and unicast algorithms vs
-// the erasure probability, Monte-Carlo on the i.i.d. broadcast channel
-// with the oracle estimator, next to the paper's closed forms.
-
-double mc_efficiency(bool unicast, double p, std::size_t n,
-                     std::uint64_t seed) {
-  core::SessionConfig cfg;
-  cfg.x_packets_per_round = 200;
-  cfg.payload_bytes = 100;
-  cfg.rounds = 6;
-  cfg.estimator.kind = core::EstimatorKind::kOracle;
-  cfg.pool_strategy = core::PoolStrategy::kClassShared;
-  cfg.arena = &worker_arena();  // reset per case by the engine
-
-  channel::IidErasure ch(p);
-  net::Medium medium(ch, channel::Rng(seed));
-  for (std::size_t i = 0; i < n; ++i)
-    medium.attach(packet::NodeId{static_cast<std::uint16_t>(i)},
-                  net::Role::kTerminal);
-  medium.attach(packet::NodeId{static_cast<std::uint16_t>(n)},
-                net::Role::kEavesdropper);
-  if (unicast) {
-    core::UnicastSession session(medium, cfg);
-    return session.run().data_efficiency(cfg.payload_bytes);
-  }
-  core::GroupSecretSession session(medium, cfg);
-  return session.run().data_efficiency(cfg.payload_bytes);
+ScenarioSpec fig1_spec() {
+  // Figure 1: data-plane efficiency of the group and unicast algorithms vs
+  // the erasure probability, Monte-Carlo on the i.i.d. broadcast channel
+  // with the oracle estimator, next to the paper's closed forms.
+  SessionSpec session;
+  session.x_packets = 200;
+  session.payload_bytes = 100;
+  session.rounds = 6;
+  return ScenarioSpec{}
+      .with_name(kFig1Scenario)
+      .with_description(
+          "Figure 1: group vs unicast efficiency over erasure probability "
+          "(analytic + Monte-Carlo, oracle estimator, i.i.d. channel)")
+      .on_iid(0.1)
+      .sweep_p({0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9})
+      .with_n({2, 3, 6, 10})
+      .with_session(session)
+      .with_estimator(core::EstimatorKind::kOracle)
+      .with_baseline(Baseline::kBoth)
+      .with_metrics(MetricSet::kEfficiency)
+      .with_analytic();
 }
 
-Scenario fig1_scenario() {
-  Scenario s;
-  s.name = kFig1Scenario;
-  s.description =
-      "Figure 1: group vs unicast efficiency over erasure probability "
-      "(analytic + Monte-Carlo, oracle estimator, i.i.d. channel)";
-  s.plan = [] {
-    SweepPlan plan;
-    plan.add_axis("n", {2, 3, 6, 10});
-    plan.add_axis("p", {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9});
-    return plan;
-  };
-  s.run = [](const CaseSpec& spec) {
-    const auto n = static_cast<std::size_t>(param(spec.params, "n"));
-    const double p = param(spec.params, "p");
-    CaseResult result;
-    result.group = "n=" + std::to_string(n);
-    result.metrics = {
-        {"group_analytic", analysis::group_efficiency(p, n)},
-        {"group_sim", mc_efficiency(false, p, n, spec.seed)},
-        {"unicast_analytic", analysis::unicast_efficiency(p, n)},
-        {"unicast_sim",
-         mc_efficiency(true, p, n, derive_seed2(spec.seed, spec.index))},
-    };
-    return result;
-  };
-  return s;
+ScenarioSpec fig2_spec() {
+  // The three Figure-2 estimator series with the same per-series placement
+  // caps the bench uses. The estimator axis is dependent (placement cap
+  // varies per series), which the spec's per-series caps express directly.
+  return ScenarioSpec{}
+      .with_name(kFig2Scenario)
+      .with_description(
+          "Figure 2: reliability vs group size on the 3x3-cell testbed "
+          "(geometry / leave-one-out / slot-fraction estimators)")
+      .on_testbed()
+      .with_n_range(3, 8)
+      .with_estimator(core::EstimatorKind::kGeometry, 60)
+      .add_estimator(core::EstimatorKind::kLeaveOneOut, 24)
+      .add_estimator(core::EstimatorKind::kSlotFraction, 24);
 }
 
-// ------------------------------------------------------- fig2 / headline
-// Testbed experiments: one case = one (estimator, n, placement) triple,
-// full Alice rotation, scored for reliability/efficiency/secret rate.
-
-// Placement sets are immutable per (n, cap); enumerate each once instead
-// of per case — the headline sweep alone would otherwise rebuild a
-// 630-element placement vector 1971 times inside the parallel hot path.
-const std::vector<testbed::Placement>& cached_placements(
-    std::size_t n, std::size_t max_placements) {
-  static std::mutex mu;
-  static std::map<std::pair<std::size_t, std::size_t>,
-                  std::vector<testbed::Placement>>
-      cache;
-  std::lock_guard lock(mu);
-  auto [it, inserted] = cache.try_emplace({n, max_placements});
-  if (inserted) it->second = testbed::sample_placements(n, max_placements);
-  return it->second;
+ScenarioSpec headline_spec() {
+  return ScenarioSpec{}
+      .with_name(kHeadlineScenario)
+      .with_description(
+          "Sec. 4 headline sweep: every possible positioning of n terminals "
+          "and Eve, n = 3..8, geometry estimator")
+      .on_testbed()
+      .with_n_range(3, 8)
+      .with_estimator(core::EstimatorKind::kGeometry);
 }
-
-testbed::ExperimentResult run_testbed_case(core::EstimatorKind kind,
-                                           std::size_t n,
-                                           std::size_t placement_index,
-                                           std::size_t max_placements,
-                                           std::uint64_t seed) {
-  testbed::ExperimentConfig cfg;
-  cfg.placement = cached_placements(n, max_placements)[placement_index];
-  cfg.session.estimator.kind = kind;
-  cfg.session.arena = &worker_arena();  // reset per case by the engine
-  cfg.seed = seed;
-  return run_experiment(cfg);
-}
-
-CaseResult testbed_case_result(std::string group,
-                               const testbed::ExperimentResult& r) {
-  CaseResult result;
-  result.group = std::move(group);
-  result.metrics = {
-      {"reliability", r.reliability()},
-      {"efficiency", r.efficiency()},
-      {"secret_rate_bps", r.secret_rate_bps()},
-  };
-  return result;
-}
-
-Scenario fig2_scenario() {
-  // The three Figure-2 estimator series with the same per-series
-  // placement caps the bench uses. The estimator axis is dependent
-  // (placement cap varies), so the plan is an explicit point list.
-  struct Series {
-    core::EstimatorKind kind;
-    double code;
-    std::size_t max_placements;
-  };
-  static constexpr Series kSeries[] = {
-      {core::EstimatorKind::kGeometry, 0, 60},
-      {core::EstimatorKind::kLeaveOneOut, 1, 24},
-      {core::EstimatorKind::kSlotFraction, 2, 24},
-  };
-
-  Scenario s;
-  s.name = kFig2Scenario;
-  s.description =
-      "Figure 2: reliability vs group size on the 3x3-cell testbed "
-      "(geometry / leave-one-out / slot-fraction estimators)";
-  s.plan = [] {
-    SweepPlan plan;
-    for (const Series& series : kSeries) {
-      for (std::size_t n = 3; n <= 8; ++n) {
-        const std::size_t count =
-            cached_placements(n, series.max_placements).size();
-        for (std::size_t p = 0; p < count; ++p)
-          plan.add_point({{"estimator", series.code},
-                          {"n", static_cast<double>(n)},
-                          {"placement", static_cast<double>(p)}});
-      }
-    }
-    return plan;
-  };
-  s.run = [](const CaseSpec& spec) {
-    const auto code = static_cast<std::size_t>(param(spec.params, "estimator"));
-    const auto n = static_cast<std::size_t>(param(spec.params, "n"));
-    const auto p = static_cast<std::size_t>(param(spec.params, "placement"));
-    const Series& series = kSeries[code];
-    const testbed::ExperimentResult r =
-        run_testbed_case(series.kind, n, p, series.max_placements, spec.seed);
-    return testbed_case_result(std::string(core::to_string(series.kind)) +
-                                   " n=" + std::to_string(n),
-                               r);
-  };
-  return s;
-}
-
-Scenario headline_scenario() {
-  Scenario s;
-  s.name = kHeadlineScenario;
-  s.description =
-      "Sec. 4 headline sweep: every possible positioning of n terminals "
-      "and Eve, n = 3..8, geometry estimator";
-  s.plan = [] {
-    SweepPlan plan;
-    for (std::size_t n = 3; n <= 8; ++n)
-      for (std::size_t p = 0; p < testbed::placement_count(n); ++p)
-        plan.add_point({{"n", static_cast<double>(n)},
-                        {"placement", static_cast<double>(p)}});
-    return plan;
-  };
-  s.run = [](const CaseSpec& spec) {
-    const auto n = static_cast<std::size_t>(param(spec.params, "n"));
-    const auto p = static_cast<std::size_t>(param(spec.params, "placement"));
-    const testbed::ExperimentResult r = run_testbed_case(
-        core::EstimatorKind::kGeometry, n, p, /*max_placements=*/0, spec.seed);
-    return testbed_case_result("n=" + std::to_string(n), r);
-  };
-  return s;
-}
-
-}  // namespace
 
 void register_builtin_scenarios() {
   ScenarioRegistry& registry = ScenarioRegistry::instance();
   if (registry.find(kFig1Scenario) != nullptr) return;  // already done
-  registry.add(fig1_scenario());
-  registry.add(fig2_scenario());
-  registry.add(headline_scenario());
+  register_spec(fig1_spec());
+  register_spec(fig2_spec());
+  register_spec(headline_spec());
 }
 
 }  // namespace thinair::runtime

@@ -1,10 +1,13 @@
 #pragma once
 // Built-in scenario definitions: the paper's figures and headline tables
-// expressed as data (SweepPlan + case function) so the engine can run
-// them batched, parallel and deterministic. The bench programs and the
-// `thinair` CLI are both thin shells over these registrations.
+// as ScenarioSpec literals, compiled and registered through the same
+// declarative path (runtime/scenario_spec.h) every user spec takes. The
+// bench programs and the `thinair` CLI are both thin shells over these
+// registrations, and `thinair describe fig2` dumps the literals back out
+// in spec-file syntax.
 
 #include "runtime/scenario.h"
+#include "runtime/scenario_spec.h"
 
 namespace thinair::runtime {
 
@@ -12,5 +15,10 @@ namespace thinair::runtime {
 inline constexpr const char* kFig1Scenario = "fig1";
 inline constexpr const char* kFig2Scenario = "fig2";
 inline constexpr const char* kHeadlineScenario = "headline";
+
+/// The built-ins as specs (what register_builtin_scenarios compiles).
+[[nodiscard]] ScenarioSpec fig1_spec();
+[[nodiscard]] ScenarioSpec fig2_spec();
+[[nodiscard]] ScenarioSpec headline_spec();
 
 }  // namespace thinair::runtime

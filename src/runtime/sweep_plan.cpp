@@ -1,5 +1,7 @@
 #include "runtime/sweep_plan.h"
 
+#include <algorithm>
+#include <set>
 #include <stdexcept>
 
 namespace thinair::runtime {
@@ -46,6 +48,34 @@ Params SweepPlan::at(std::size_t index) const {
     out[i] = Param{a.name, a.values[index % a.values.size()]};
     index /= a.values.size();
   }
+  return out;
+}
+
+std::vector<SweepPlan::AxisSummary> SweepPlan::axis_summaries() const {
+  std::vector<AxisSummary> out;
+  if (!axes_.empty()) {
+    for (const Axis& a : axes_) {
+      std::set<double> distinct(a.values.begin(), a.values.end());
+      out.push_back({a.name, {distinct.begin(), distinct.end()}});
+    }
+    return out;
+  }
+  std::vector<std::set<double>> distinct;
+  for (const Params& point : points_) {
+    for (const Param& p : point) {
+      auto it = std::find_if(out.begin(), out.end(), [&](const AxisSummary& s) {
+        return s.name == p.name;
+      });
+      if (it == out.end()) {
+        out.push_back({p.name, {}});
+        distinct.emplace_back();
+        it = out.end() - 1;
+      }
+      distinct[static_cast<std::size_t>(it - out.begin())].insert(p.value);
+    }
+  }
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i].values.assign(distinct[i].begin(), distinct[i].end());
   return out;
 }
 

@@ -49,6 +49,22 @@ class SweepPlan {
 
   [[nodiscard]] bool empty() const { return size() == 0; }
 
+  /// One parameter axis of the plan, summarised for display (`thinair
+  /// list`): the distinct values it takes, in value order.
+  struct AxisSummary {
+    std::string name;
+    std::vector<double> values;  // distinct, ascending
+
+    [[nodiscard]] double min() const { return values.front(); }
+    [[nodiscard]] double max() const { return values.back(); }
+  };
+
+  /// Per-parameter summaries in axis order (cartesian plans) or
+  /// first-appearance order (explicit-point plans, where the distinct
+  /// values are collected across every point — dependent axes like
+  /// fig2's per-series placement counts report their union).
+  [[nodiscard]] std::vector<AxisSummary> axis_summaries() const;
+
  private:
   struct Axis {
     std::string name;

@@ -14,7 +14,16 @@ ExperimentResult run_with(const ExperimentConfig& config) {
     throw std::invalid_argument("run_experiment: invalid placement");
 
   const std::size_t n = config.placement.n_terminals();
+  if (!config.terminal_positions.empty() &&
+      config.terminal_positions.size() != n)
+    throw std::invalid_argument(
+        "run_experiment: terminal_positions must align with the placement");
+
   channel::TestbedChannel ch = build_channel(config.placement, config.channel);
+  for (std::size_t i = 0; i < config.terminal_positions.size(); ++i)
+    ch.place(terminal_node(i), config.terminal_positions[i]);
+  if (config.eve_position.has_value())
+    ch.place(eve_node(n), *config.eve_position);
   net::Medium medium(ch, channel::Rng(config.seed), config.mac);
   for (std::size_t i = 0; i < n; ++i)
     medium.attach(terminal_node(i), net::Role::kTerminal);

@@ -3,6 +3,9 @@
 // protocol pass (every terminal plays Alice once, rotating through the 9
 // noise patterns), and score efficiency + reliability.
 
+#include <optional>
+#include <vector>
+
 #include "core/session.h"
 #include "testbed/layout.h"
 
@@ -10,6 +13,12 @@ namespace thinair::testbed {
 
 struct ExperimentConfig {
   Placement placement;
+  /// Optional explicit coordinates (metres) overriding the cell centres;
+  /// aligned with placement.terminal_cells. The placement's cells stay
+  /// authoritative for the interference schedule and the geometry
+  /// estimator, so each position should lie inside its node's cell.
+  std::vector<channel::Vec2> terminal_positions;
+  std::optional<channel::Vec2> eve_position;
   core::SessionConfig session;  // rounds == 0 -> full rotation
   channel::TestbedChannel::Config channel;
   net::MacParams mac;  // defaults match the paper: 1 Mbps, 12 ms slots

@@ -4,52 +4,43 @@
 #include <string>
 
 #include "runtime/engine.h"
+#include "runtime/scenario_spec.h"
 
 namespace thinair::testbed {
 
+// run_sweep keeps its struct-config signature for the bench/example
+// callers, but is now a thin wrapper over the declarative scenario layer:
+// it builds a ScenarioSpec, compiles it through the same path as every
+// `thinair run --spec` scenario, and reads the per-n aggregates back out
+// of the sink. Case enumeration (n-major, then placement) and per-case
+// seed derivation are identical to the previous hand-rolled plumbing, so
+// results are sample-for-sample unchanged.
 SweepResult run_sweep(const SweepConfig& config) {
   if (config.n_min < 2 || config.n_max > 8 || config.n_min > config.n_max)
     throw std::invalid_argument("run_sweep: n range outside [2, 8]");
 
-  // Flatten the (n, placement) grid so every experiment has a dense index
-  // — the runtime derives its seed from that index, which makes the sweep
-  // reproducible at any thread count.
-  std::vector<ExperimentConfig> cases;
-  for (std::size_t n = config.n_min; n <= config.n_max; ++n) {
-    for (const Placement& p : sample_placements(n, config.max_placements)) {
-      ExperimentConfig exp;
-      exp.placement = p;
-      exp.session = config.session;
-      exp.channel = config.channel;
-      exp.mac = config.mac;
-      cases.push_back(std::move(exp));
-    }
-  }
+  runtime::SessionSpec session;
+  session.x_packets = config.session.x_packets_per_round;
+  session.payload_bytes = config.session.payload_bytes;
+  session.rounds = config.session.rounds;
+  session.rotate_alice = config.session.rotate_alice;
+  session.pool = config.session.pool_strategy;
 
-  runtime::Scenario scenario;
-  scenario.name = "testbed-sweep";
-  scenario.plan = [&cases] {
-    // The run function indexes `cases` directly, so the plan only needs
-    // to supply the case count (and thereby the seed indices).
-    runtime::SweepPlan plan;
-    for (std::size_t i = 0; i < cases.size(); ++i) plan.add_point({});
-    return plan;
-  };
-  scenario.run = [&cases, &config](const runtime::CaseSpec& spec) {
-    ExperimentConfig exp = cases[spec.index];
-    exp.seed = spec.seed;
-    exp.session.arena = &runtime::worker_arena();
-    const ExperimentResult r = config.unicast_baseline
-                                   ? run_unicast_experiment(exp)
-                                   : run_experiment(exp);
-    runtime::CaseResult out;
-    out.group = std::to_string(r.n_terminals);
-    out.metrics = {{"reliability", r.reliability()},
-                   {"efficiency", r.efficiency()},
-                   {"secret_rate_bps", r.secret_rate_bps()}};
-    return out;
-  };
+  runtime::ScenarioSpec spec;
+  spec.with_name("testbed-sweep")
+      .on_testbed(config.channel)
+      .with_n_range(config.n_min, config.n_max)
+      .with_placement_cap(config.max_placements)
+      .with_session(session)
+      .with_estimator(config.session.estimator.kind)
+      .with_baseline(config.unicast_baseline ? runtime::Baseline::kUnicast
+                                             : runtime::Baseline::kGroup);
+  spec.estimator.k_antennas = config.session.estimator.k_antennas;
+  spec.estimator.fraction_delta = config.session.estimator.fraction_delta;
+  spec.estimator.safety = config.session.estimator.loo_safety;
+  spec.mac = config.mac;
 
+  const runtime::Scenario scenario = runtime::compile(spec);
   runtime::ResultSink sink(scenario.name, nullptr);
   runtime::RunOptions options;
   options.threads = config.threads;
@@ -59,7 +50,7 @@ SweepResult run_sweep(const SweepConfig& config) {
   SweepResult result;
   for (const runtime::ResultSink::GroupSummary& g : sink.summaries()) {
     SweepRow row;
-    row.n = static_cast<std::size_t>(std::stoul(g.group));
+    row.n = std::stoul(g.group.substr(g.group.find('=') + 1));  // "n=3"
     row.experiments = g.cases;
     row.reliability = g.metrics.at("reliability");
     row.efficiency = g.metrics.at("efficiency");

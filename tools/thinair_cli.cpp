@@ -3,25 +3,35 @@
 //
 //   $ thinair list
 //   $ thinair run fig2 --threads 8 --seed 42 --out fig2.ndjson
-//   $ thinair run fig1 --limit 10 --out -
+//   $ thinair run fig2 --set channel.interference=off --limit 20
+//   $ thinair run --spec examples/specs/fig2_iid.toml --out -
+//   $ thinair describe headline
 //
-// `run` executes every case of the named scenario on the work-stealing
-// engine and writes one NDJSON line per case to --out ("-" = stdout),
-// then prints per-group summary aggregates. Output is bit-identical for
-// any --threads value: case seeds derive from (--seed, case index) and
-// rows are emitted in case-index order. Timing goes to stderr so stdout
-// stays byte-comparable across runs.
+// `run` executes every case of a scenario — a registered name, a spec
+// file (--spec), or either with dotted-path overrides (--set key=value) —
+// on the work-stealing engine and writes one NDJSON line per case to
+// --out ("-" = stdout), then prints per-group summary aggregates. Output
+// is bit-identical for any --threads value: case seeds derive from
+// (--seed, case index) and rows are emitted in case-index order. Timing
+// goes to stderr so stdout stays byte-comparable across runs. `describe`
+// dumps the resolved spec back out in spec-file syntax (a parse
+// round-trip), and `list` shows each scenario's parameter axes.
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gf/kernels.h"
 #include "runtime/engine.h"
+#include "runtime/result_sink.h"
 #include "runtime/scenarios.h"
+#include "runtime/spec_parse.h"
 #include "util/parse.h"
 
 namespace {
@@ -29,15 +39,19 @@ namespace {
 using namespace thinair;
 
 int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s list\n"
-               "       %s run SCENARIO [--threads N] [--seed S]\n"
-               "           [--out FILE|-] [--limit K] [--quiet]\n"
-               "           [--kernel scalar|portable|ssse3|avx2|gfni|auto]\n"
-               "       %s kernels\n"
-               "--kernel (or THINAIR_GF_KERNEL) retargets the GF(2^8) bulk\n"
-               "kernels; output is byte-identical across kernels.\n",
-               argv0, argv0, argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s list\n"
+      "       %s describe NAME|--spec FILE [--set key=value]...\n"
+      "       %s run NAME|--spec FILE [--set key=value]...\n"
+      "           [--threads N] [--seed S] [--out FILE|-] [--limit K]\n"
+      "           [--quiet] [--kernel scalar|portable|ssse3|avx2|gfni|auto]\n"
+      "       %s kernels\n"
+      "--spec runs a scenario composed in a spec file (docs/scenarios.md);\n"
+      "--set overrides one spec key by dotted path, e.g. channel.p=0.3.\n"
+      "--kernel (or THINAIR_GF_KERNEL) retargets the GF(2^8) bulk kernels;\n"
+      "output is byte-identical across kernels.\n",
+      argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -48,18 +62,98 @@ int cmd_kernels() {
   return 0;
 }
 
+std::string axis_display(const runtime::SweepPlan::AxisSummary& axis) {
+  std::string out = axis.name + " in ";
+  if (axis.values.size() <= 6) {
+    out += "{";
+    for (std::size_t i = 0; i < axis.values.size(); ++i)
+      out += (i > 0 ? ", " : "") + runtime::format_double(axis.values[i]);
+    return out + "}";
+  }
+  return out + "[" + runtime::format_double(axis.min()) + " .. " +
+         runtime::format_double(axis.max()) + "] (" +
+         std::to_string(axis.values.size()) + " values)";
+}
+
 int cmd_list() {
   for (const runtime::Scenario* s :
        runtime::ScenarioRegistry::instance().list()) {
-    const std::size_t cases = s->plan().size();
-    std::printf("%-10s %6zu cases  %s\n", s->name.c_str(), cases,
+    const runtime::SweepPlan plan = s->plan();
+    std::printf("%-10s %6zu cases  %s\n", s->name.c_str(), plan.size(),
                 s->description.c_str());
+    std::string axes;
+    for (const runtime::SweepPlan::AxisSummary& axis : plan.axis_summaries())
+      axes += (axes.empty() ? "" : "; ") + axis_display(axis);
+    if (!axes.empty()) std::printf("%24s axes: %s\n", "", axes.c_str());
   }
   return 0;
 }
 
+/// How a run/describe names its scenario: a registered name, a spec
+/// file, or either plus --set overrides.
+struct SpecArgs {
+  std::string scenario;   // registered name ("" with --spec)
+  std::string spec_file;  // --spec FILE
+  std::vector<std::pair<std::string, std::string>> overrides;
+};
+
+/// Resolve the scenario a SpecArgs names, compiling specs and applying
+/// overrides. Prints the failure to stderr and returns nullopt on error.
+std::optional<runtime::Scenario> resolve_scenario(const SpecArgs& args) {
+  runtime::ScenarioSpec spec;
+  if (!args.spec_file.empty()) {
+    std::ifstream file(args.spec_file);
+    if (!file) {
+      std::fprintf(stderr, "cannot read spec file %s\n",
+                   args.spec_file.c_str());
+      return std::nullopt;
+    }
+    std::ostringstream text;
+    text << file.rdbuf();
+    try {
+      spec = runtime::parse_spec(text.str());
+    } catch (const runtime::SpecError& e) {
+      std::fprintf(stderr, "%s: %s\n", args.spec_file.c_str(), e.what());
+      return std::nullopt;
+    }
+  } else {
+    const runtime::Scenario* registered =
+        runtime::ScenarioRegistry::instance().find(args.scenario);
+    if (registered == nullptr) {
+      std::fprintf(stderr, "unknown scenario '%s' (see `thinair list`)\n",
+                   args.scenario.c_str());
+      return std::nullopt;
+    }
+    if (args.overrides.empty()) return *registered;
+    if (registered->spec == nullptr) {
+      std::fprintf(stderr,
+                   "scenario '%s' is hand-written (no spec); --set needs a "
+                   "spec-defined scenario\n",
+                   args.scenario.c_str());
+      return std::nullopt;
+    }
+    spec = *registered->spec;
+  }
+
+  for (const auto& [key, value] : args.overrides) {
+    try {
+      runtime::apply_override(spec, key, value);
+    } catch (const runtime::SpecError& e) {
+      std::fprintf(stderr, "--set %s=%s: %s\n", key.c_str(), value.c_str(),
+                   e.what());
+      return std::nullopt;
+    }
+  }
+  try {
+    return runtime::compile(spec);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "invalid spec: %s\n", e.what());
+    return std::nullopt;
+  }
+}
+
 struct RunArgs {
-  std::string scenario;
+  SpecArgs spec;
   runtime::RunOptions options;
   std::string out;     // empty = no NDJSON, "-" = stdout
   bool quiet = false;  // suppress the summary table
@@ -73,10 +167,41 @@ bool parse_u64(const char* text, std::uint64_t& out) {
   return text != nullptr && util::parse_u64(text, out);
 }
 
+/// Shared by run and describe: scenario NAME / --spec / --set. Returns
+/// -1 when `flag` is not a spec-selection argument.
+int parse_spec_arg(SpecArgs& args, const std::string& flag,
+                   const char* value) {
+  if (flag == "--spec") {
+    if (value == nullptr) return 1;
+    args.spec_file = value;
+    return 0;
+  }
+  if (flag == "--set") {
+    if (value == nullptr) return 1;
+    const std::string assignment = value;
+    const std::size_t eq = assignment.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::fprintf(stderr, "--set %s: want key=value\n", value);
+      return 1;
+    }
+    args.overrides.emplace_back(assignment.substr(0, eq),
+                                assignment.substr(eq + 1));
+    return 0;
+  }
+  if (!flag.starts_with("--")) {
+    if (!args.scenario.empty()) {
+      std::fprintf(stderr, "two scenario names: %s and %s\n",
+                   args.scenario.c_str(), flag.c_str());
+      return 1;
+    }
+    args.scenario = flag;
+    return 0;
+  }
+  return -1;
+}
+
 bool parse_run_args(int argc, char** argv, RunArgs& args) {
-  if (argc < 1) return false;
-  args.scenario = argv[0];
-  for (int i = 1; i < argc; ++i) {
+  for (int i = 0; i < argc; ++i) {
     const std::string flag = argv[i];
     const auto value = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
@@ -86,7 +211,10 @@ bool parse_run_args(int argc, char** argv, RunArgs& args) {
                    v == nullptr ? "(missing)" : v);
       return false;
     };
-    if (flag == "--quiet") {
+    if (flag == "--spec" || flag == "--set" || !flag.starts_with("--")) {
+      const char* v = flag.starts_with("--") ? value() : nullptr;
+      if (parse_spec_arg(args.spec, flag, v) != 0) return false;
+    } else if (flag == "--quiet") {
       args.quiet = true;
     } else if (flag == "--threads") {
       std::uint64_t n = 0;
@@ -125,17 +253,13 @@ bool parse_run_args(int argc, char** argv, RunArgs& args) {
       return false;
     }
   }
-  return true;
+  return args.spec.scenario.empty() != args.spec.spec_file.empty();
 }
 
 int cmd_run(const RunArgs& args) {
-  const runtime::Scenario* scenario =
-      runtime::ScenarioRegistry::instance().find(args.scenario);
-  if (scenario == nullptr) {
-    std::fprintf(stderr, "unknown scenario '%s' (see `thinair list`)\n",
-                 args.scenario.c_str());
-    return 1;
-  }
+  const std::optional<runtime::Scenario> scenario =
+      resolve_scenario(args.spec);
+  if (!scenario.has_value()) return 1;
 
   std::ofstream file;
   std::ostream* ndjson = nullptr;
@@ -151,16 +275,49 @@ int cmd_run(const RunArgs& args) {
   }
 
   runtime::ResultSink sink(scenario->name, ndjson);
-  const runtime::RunStats stats =
-      runtime::run_scenario(*scenario, args.options, sink);
+  runtime::RunStats stats;
+  try {
+    stats = runtime::run_scenario(*scenario, args.options, sink);
+  } catch (const std::exception& e) {
+    // The engine funnels worker exceptions back to this thread; report
+    // them as an error instead of letting main() terminate.
+    std::fprintf(stderr, "run failed: %s\n", e.what());
+    return 1;
+  }
 
   if (!args.quiet && ndjson != &std::cout) {
     std::printf("%s — %s\n\n", scenario->name.c_str(),
                 scenario->description.c_str());
     sink.print_summary(std::cout);
   }
+  if (stats.truncated())
+    std::fprintf(stderr,
+                 "warning: --limit truncated %s: ran %zu of %zu cases; "
+                 "group summaries are partial\n",
+                 scenario->name.c_str(), stats.cases, stats.plan_cases);
   std::fprintf(stderr, "%zu cases on %zu thread(s) in %.2fs (%.1f cases/s)\n",
                stats.cases, stats.threads, stats.wall_s, stats.cases_per_s());
+  return 0;
+}
+
+int cmd_describe(int argc, char** argv) {
+  SpecArgs args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* value =
+        flag.starts_with("--") && i + 1 < argc ? argv[++i] : nullptr;
+    if (parse_spec_arg(args, flag, value) != 0) return 2;
+  }
+  if (args.scenario.empty() == args.spec_file.empty()) return 2;
+
+  const std::optional<runtime::Scenario> scenario = resolve_scenario(args);
+  if (!scenario.has_value()) return 1;
+  if (scenario->spec == nullptr) {
+    std::fprintf(stderr, "scenario '%s' is hand-written (no spec)\n",
+                 scenario->name.c_str());
+    return 1;
+  }
+  std::fputs(runtime::serialize_spec(*scenario->spec).c_str(), stdout);
   return 0;
 }
 
@@ -173,6 +330,10 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   if (command == "list") return cmd_list();
   if (command == "kernels") return cmd_kernels();
+  if (command == "describe") {
+    const int rc = cmd_describe(argc - 2, argv + 2);
+    return rc == 2 ? usage(argv[0]) : rc;
+  }
   if (command == "run") {
     RunArgs args;
     if (!parse_run_args(argc - 2, argv + 2, args)) return usage(argv[0]);
