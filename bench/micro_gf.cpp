@@ -18,6 +18,7 @@
 
 #include "channel/rng.h"
 #include "gf/encode.h"
+#include "gf/gather.h"
 #include "gf/gf256.h"
 #include "gf/kernels.h"
 #include "gf/linear_space.h"
@@ -95,6 +96,37 @@ void BM_KernelMadMulti(benchmark::State& state, const gf::Kernel* kernel,
                           static_cast<std::int64_t>(k * n));
 }
 
+// Shared operand set for every gather-direction measurement below: k
+// scaled input rows against one accumulator row.
+struct DotOperands {
+  std::vector<std::vector<std::uint8_t>> rows;
+  std::vector<const std::uint8_t*> xs;
+  std::vector<std::uint8_t> c;
+  std::vector<std::uint8_t> y;
+
+  DotOperands(std::size_t k, std::size_t n) : y(random_bytes(n, 1)) {
+    for (std::size_t r = 0; r < k; ++r) {
+      rows.push_back(random_bytes(n, 2 + r));
+      c.push_back(static_cast<std::uint8_t>(0x53 + r));
+    }
+    for (auto& row : rows) xs.push_back(row.data());
+  }
+};
+
+// Fused gather: one output accumulated from k inputs per pass. Bytes
+// processed counts the k scaled input rows, matching the accounting of k
+// repeated axpy calls into the shared output.
+void BM_KernelDotMulti(benchmark::State& state, const gf::Kernel* kernel,
+                       std::size_t k, std::size_t n) {
+  DotOperands op(k, n);
+  for (auto _ : state) {
+    kernel->dot_multi(op.c.data(), k, op.xs.data(), op.y.data(), n);
+    benchmark::DoNotOptimize(op.y.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * n));
+}
+
 constexpr std::size_t kKernelPayloadSizes[] = {64, 1024, 8192};
 constexpr std::size_t kFusedRowCounts[] = {4, 8};
 constexpr std::size_t kFusedPayloadSizes[] = {1024, 8192};
@@ -107,7 +139,7 @@ void register_kernel_benchmarks() {
               .c_str(),
           [k, n](benchmark::State& s) { BM_KernelAxpy(s, k, n); });
     for (const std::size_t rows : kFusedRowCounts)
-      for (const std::size_t n : kFusedPayloadSizes)
+      for (const std::size_t n : kFusedPayloadSizes) {
         benchmark::RegisterBenchmark(
             (std::string("BM_KernelMadMulti/") + k->name + "/k" +
              std::to_string(rows) + "/" + std::to_string(n))
@@ -115,6 +147,14 @@ void register_kernel_benchmarks() {
             [k, rows, n](benchmark::State& s) {
               BM_KernelMadMulti(s, k, rows, n);
             });
+        benchmark::RegisterBenchmark(
+            (std::string("BM_KernelDotMulti/") + k->name + "/k" +
+             std::to_string(rows) + "/" + std::to_string(n))
+                .c_str(),
+            [k, rows, n](benchmark::State& s) {
+              BM_KernelDotMulti(s, k, rows, n);
+            });
+      }
   }
 }
 
@@ -176,6 +216,37 @@ double measure_mad_gbps(const gf::Kernel& kernel, std::size_t k,
       }
     }
     benchmark::DoNotOptimize(ys.data());
+  };
+  run(64);
+  using clock = std::chrono::steady_clock;
+  const std::size_t reps = 256;
+  double best_gbps = 0.0;
+  for (int trial = 0; trial < 3; ++trial) {
+    double elapsed = 0.0;
+    std::size_t done = 0;
+    while (elapsed < 0.04) {
+      const auto t0 = clock::now();
+      run(reps);
+      elapsed += std::chrono::duration<double>(clock::now() - t0).count();
+      done += reps;
+    }
+    const double gbps = static_cast<double>(done) *
+                        static_cast<double>(k * n) / elapsed / 1e9;
+    if (gbps > best_gbps) best_gbps = gbps;
+  }
+  return best_gbps;
+}
+
+// Fused gather of one output row from k inputs of n bytes; GB/s counts
+// the k scaled inputs (the accounting of k repeated axpy calls, so the
+// figure is directly comparable with the axpy table above).
+double measure_dot_gbps(const gf::Kernel& kernel, std::size_t k,
+                        std::size_t n) {
+  DotOperands op(k, n);
+  const auto run = [&](std::size_t reps) {
+    for (std::size_t i = 0; i < reps; ++i)
+      kernel.dot_multi(op.c.data(), k, op.xs.data(), op.y.data(), n);
+    benchmark::DoNotOptimize(op.y.data());
   };
   run(64);
   using clock = std::chrono::steady_clock;
@@ -260,6 +331,48 @@ EncodePair measure_encode_pair(const gf::Kernel& kernel, std::size_t k,
   return best;
 }
 
+// The gather-side acceptance comparison: fused dot_multi against k
+// repeated axpy calls into the shared output, same k and payload, both
+// L1-resident on the dispatched kernel (gf::gather is a thin tiling
+// wrapper over dot_multi, so this IS the decode path's inner loop; larger
+// input sets only bury the fusion win under L2 stream bandwidth that
+// both formulations pay identically). Windows alternate between the two
+// sides so noisy-neighbor interference lands on both.
+EncodePair measure_dot_pair(const gf::Kernel& kernel, std::size_t k,
+                            std::size_t n) {
+  DotOperands op(k, n);
+  const auto run_fused = [&] {
+    kernel.dot_multi(op.c.data(), k, op.xs.data(), op.y.data(), n);
+    benchmark::DoNotOptimize(op.y.data());
+  };
+  const auto run_rowwise = [&] {
+    for (std::size_t r = 0; r < k; ++r)
+      kernel.axpy(op.c[r], op.xs[r], op.y.data(), n);
+    benchmark::DoNotOptimize(op.y.data());
+  };
+  using clock = std::chrono::steady_clock;
+  const auto window = [&](const auto& run) {
+    double elapsed = 0.0;
+    std::size_t done = 0;
+    while (elapsed < 0.04) {
+      const auto t0 = clock::now();
+      for (int r = 0; r < 256; ++r) run();
+      elapsed += std::chrono::duration<double>(clock::now() - t0).count();
+      done += 256;
+    }
+    return static_cast<double>(done) * static_cast<double>(k * n) / elapsed /
+           1e9;
+  };
+  run_fused();
+  run_rowwise();
+  EncodePair best;
+  for (int trial = 0; trial < 5; ++trial) {
+    best.fused_gbps = std::max(best.fused_gbps, window(run_fused));
+    best.row_by_row_gbps = std::max(best.row_by_row_gbps, window(run_rowwise));
+  }
+  return best;
+}
+
 int write_bench_json(const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -307,6 +420,25 @@ int write_bench_json(const char* path) {
     }
     std::fprintf(f, "}}%s\n", ki + 1 < kernels.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"dot_multi\": [\n");
+
+  // Raw fused-gather throughput at k in {4, 8} for every kernel.
+  for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+    const gf::Kernel& k = *kernels[ki];
+    std::fprintf(f, "    {\"name\": \"%s\", \"gb_per_s\": {", k.name);
+    bool first = true;
+    for (const std::size_t rows : kFusedRowCounts) {
+      for (const std::size_t n : kFusedPayloadSizes) {
+        const double fused = measure_dot_gbps(k, rows, n);
+        std::fprintf(f, "%s\"k%zu/%zu\": %.3f", first ? "" : ", ", rows, n,
+                     fused);
+        first = false;
+        std::fprintf(stderr, "dot_multi %-8s k=%zu %5zu B  %7.3f GB/s\n",
+                     k.name, rows, n, fused);
+      }
+    }
+    std::fprintf(f, "}}%s\n", ki + 1 < kernels.size() ? "," : "");
+  }
 
   // The acceptance comparison: the fused encode path (k = 8 output rows,
   // 1 KiB payloads, 128 inputs) against the pre-fusion row-by-row axpy
@@ -319,6 +451,13 @@ int write_bench_json(const char* path) {
   const double enc_rowwise = enc.row_by_row_gbps;
   const double enc_speedup = enc_rowwise > 0.0 ? enc_fused / enc_rowwise : 0.0;
 
+  // The gather-side acceptance comparison: fused dot_multi vs k repeated
+  // axpy into the shared output at k = 8, 1 KiB, on the dispatched
+  // kernel.
+  const EncodePair gat = measure_dot_pair(best, kEncK, kEncPayload);
+  const double gat_speedup =
+      gat.row_by_row_gbps > 0.0 ? gat.fused_gbps / gat.row_by_row_gbps : 0.0;
+
   const double speedup = scalar_1k > 0.0 ? best_1k / scalar_1k : 0.0;
   std::fprintf(f, "  ],\n  \"speedup_1k_best_vs_scalar\": %.2f,\n",
                speedup);
@@ -328,14 +467,24 @@ int write_bench_json(const char* path) {
                "%.3f, \"row_by_row_gb_per_s\": %.3f},\n",
                best.name, kEncK, kEncInputs, kEncPayload, enc_fused,
                enc_rowwise);
-  std::fprintf(f, "  \"fused_encode_speedup_k8_1k\": %.2f\n}\n",
-               enc_speedup);
+  std::fprintf(f, "  \"fused_encode_speedup_k8_1k\": %.2f,\n", enc_speedup);
+  std::fprintf(f,
+               "  \"fused_gather\": {\"kernel\": \"%s\", \"k\": %zu, "
+               "\"payload\": %zu, \"fused_gb_per_s\": %.3f, "
+               "\"repeated_axpy_gb_per_s\": %.3f},\n",
+               best.name, kEncK, kEncPayload, gat.fused_gbps,
+               gat.row_by_row_gbps);
+  std::fprintf(f, "  \"fused_gather_speedup\": %.2f\n}\n", gat_speedup);
   std::fclose(f);
   std::fprintf(stderr, "1 KiB best-vs-scalar speedup: %.2fx\n", speedup);
   std::fprintf(stderr,
                "fused encode k=8, 1 KiB x 128 inputs vs row-by-row (%s): "
+               "%.2fx\n",
+               best.name, enc_speedup);
+  std::fprintf(stderr,
+               "fused gather dot_multi k=8, 1 KiB vs repeated axpy (%s): "
                "%.2fx -> %s\n",
-               best.name, enc_speedup, path);
+               best.name, gat_speedup, path);
   return 0;
 }
 

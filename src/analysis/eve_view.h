@@ -38,7 +38,8 @@ class EveView {
   /// z-broadcast: rows = H over y-space, basis = G over x-space). The
   /// product matrix is carved from `arena` — per-round scratch instead of
   /// a heap allocation per observation — and fed through the fused
-  /// mad_multi product.
+  /// dot_multi gather product (each H*G row accumulates from blocks of
+  /// G's rows), then insert()'s gather-based elimination.
   void observe_coded(const gf::Matrix& rows, const gf::Matrix& basis,
                      packet::PayloadArena& arena);
 

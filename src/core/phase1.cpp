@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "gf/encode.h"
+#include "gf/kernels.h"
 
 namespace thinair::core {
 
@@ -57,6 +58,9 @@ std::vector<packet::ConstByteSpan> reconstruct_y(
     const YPool::Entry& e = pool.entries()[j];
     if (!e.audience.contains(terminal)) continue;
     const packet::ByteSpan y = arena.alloc(payload_size);
+    // Fused gather: the y-row is the shared output, blocks of
+    // gf::kMaxFusedRows x-payloads the inputs.
+    gf::DotBatch batch(y.data(), payload_size);
     for (const packet::Term& t : e.combo.terms()) {
       const packet::ConstByteSpan x = x_payloads[t.index];
       if (x.empty())
@@ -65,8 +69,9 @@ std::vector<packet::ConstByteSpan> reconstruct_y(
             "(inconsistent reception report)");
       if (x.size() != payload_size)
         throw std::invalid_argument("reconstruct_y: payload size mismatch");
-      gf::axpy(t.coeff, x.data(), y.data(), payload_size);
+      batch.add(t.coeff.value(), x.data());
     }
+    batch.flush();
     out[j] = y;
   }
   return out;
@@ -84,6 +89,7 @@ std::vector<std::optional<packet::Payload>> reconstruct_y(
     const YPool::Entry& e = pool.entries()[j];
     if (!e.audience.contains(terminal)) continue;
     packet::Payload y(payload_size, 0);
+    gf::DotBatch batch(y.data(), payload_size);
     for (const packet::Term& t : e.combo.terms()) {
       const auto& x = x_payloads[t.index];
       if (!x.has_value())
@@ -92,8 +98,9 @@ std::vector<std::optional<packet::Payload>> reconstruct_y(
             "(inconsistent reception report)");
       if (x->size() != payload_size)
         throw std::invalid_argument("reconstruct_y: payload size mismatch");
-      gf::axpy(t.coeff, x->data(), y.data(), payload_size);
+      batch.add(t.coeff.value(), x->data());
     }
+    batch.flush();
     out[j] = std::move(y);
   }
   return out;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "gf/encode.h"
+#include "gf/gather.h"
 #include "gf/mds.h"
 
 namespace thinair::core {
@@ -118,8 +119,10 @@ std::vector<packet::Payload> recover_all_y(
   if (unknown.empty()) return y;
 
   // Residual r_i = z_i - sum_{known j} H[i][j] * y_j  =  H[:,unknown] * y_u,
-  // fused: seed the residuals with the z-contents, then one encode pass of
-  // H restricted to the known columns accumulates the subtraction.
+  // fused on the gather side: seed each residual with its z-content, then
+  // one gather pass per residual row over the known y's accumulates the
+  // subtraction (the residual row is loaded/stored once per block of
+  // gf::kMaxFusedRows inputs).
   std::vector<packet::Payload> residual(z_payloads.begin(), z_payloads.end());
   for (const packet::Payload& r : residual)
     if (r.size() != payload_size)
@@ -129,8 +132,8 @@ std::vector<packet::Payload> recover_all_y(
     std::vector<packet::ConstByteSpan> yk;
     yk.reserve(known.size());
     for (std::size_t j : known) yk.push_back(y[j]);
-    std::vector<packet::ByteSpan> rs(residual.begin(), residual.end());
-    gf::encode(hk, yk, rs, payload_size);
+    for (std::size_t i = 0; i < residual.size(); ++i)
+      gf::gather(hk.row(i), yk, residual[i]);
   }
 
   // Solve the (M - L) x |unknown| system; full column rank is guaranteed by
@@ -152,8 +155,8 @@ std::vector<packet::Payload> recover_all_y(
     std::vector<packet::ConstByteSpan> rc;
     rc.reserve(unknown.size());
     for (std::size_t i : rows_used) rc.push_back(residual[i]);
-    std::vector<packet::ByteSpan> outs(repaired.begin(), repaired.end());
-    gf::encode(*inv, rc, outs, payload_size);
+    for (std::size_t u = 0; u < repaired.size(); ++u)
+      gf::gather(inv->row(u), rc, repaired[u]);
   }
   for (std::size_t u = 0; u < unknown.size(); ++u)
     y[unknown[u]] = std::move(repaired[u]);
@@ -192,8 +195,8 @@ std::vector<packet::ConstByteSpan> recover_all_y(
 
   // Residual r_i = z_i - sum_{known j} H[i][j] * y_j  =  H[:,unknown] * y_u.
   // Only the first |unknown| z-rows feed the solve below; skip the rest.
-  // Fused: seed the residuals with the z-contents, then one encode pass of
-  // the used H rows restricted to the known columns.
+  // Fused on the gather side: seed each residual with its z-content, then
+  // one gather pass per residual row over the known y's.
   std::vector<std::size_t> rows_used(unknown.size());
   for (std::size_t i = 0; i < unknown.size(); ++i) rows_used[i] = i;
   std::vector<packet::ByteSpan> residual(unknown.size());
@@ -205,7 +208,8 @@ std::vector<packet::ConstByteSpan> recover_all_y(
     std::vector<packet::ConstByteSpan> yk;
     yk.reserve(known.size());
     for (std::size_t j : known) yk.push_back(own_y[j]);
-    gf::encode(hk, yk, residual, payload_size);
+    for (std::size_t i = 0; i < residual.size(); ++i)
+      gf::gather(hk.row(i), yk, residual[i]);
   }
 
   // Solve the square |unknown| x |unknown| subsystem built from the first
@@ -218,8 +222,9 @@ std::vector<packet::ConstByteSpan> recover_all_y(
 
   const std::vector<packet::ConstByteSpan> rc(residual.begin(),
                                               residual.end());
-  const std::vector<packet::ConstByteSpan> repaired =
-      gf::encode(*inv, rc, payload_size, arena);
+  std::vector<packet::ConstByteSpan> repaired(unknown.size());
+  for (std::size_t u = 0; u < unknown.size(); ++u)
+    repaired[u] = gf::gather(inv->row(u), rc, payload_size, arena);
   for (std::size_t u = 0; u < unknown.size(); ++u)
     y[unknown[u]] = repaired[u];
   return y;

@@ -1,0 +1,35 @@
+#include "gf/gather.h"
+
+#include <stdexcept>
+
+#include "gf/kernels.h"
+
+namespace thinair::gf {
+
+void gather(std::span<const std::uint8_t> coeffs,
+            std::span<const std::span<const std::uint8_t>> inputs,
+            std::span<std::uint8_t> out) {
+  if (coeffs.size() != inputs.size())
+    throw std::invalid_argument("gf::gather: coeff count != input count");
+  DotBatch batch(out.data(), out.size());
+  for (std::size_t j = 0; j < coeffs.size(); ++j) {
+    if (coeffs[j] == 0) continue;  // dead inputs may be empty spans
+    if (inputs[j].size() != out.size())
+      throw std::invalid_argument("gf::gather: input size mismatch");
+    batch.add(coeffs[j], inputs[j].data());
+  }
+  batch.flush();
+}
+
+std::span<const std::uint8_t> gather(
+    std::span<const std::uint8_t> coeffs,
+    std::span<const std::span<const std::uint8_t>> inputs,
+    std::size_t payload_size, packet::PayloadArena& arena) {
+  if (payload_size == 0)
+    throw std::invalid_argument("gf::gather: payload_size == 0");
+  const std::span<std::uint8_t> out = arena.alloc(payload_size);
+  gather(coeffs, inputs, out);
+  return out;
+}
+
+}  // namespace thinair::gf

@@ -69,6 +69,14 @@ void scalar_mad_multi(const std::uint8_t* c, std::size_t k,
   for (std::size_t r = 0; r < k; ++r) scalar_axpy(c[r], x, ys[r], n);
 }
 
+// The reference semantics of dot_multi: k repeated axpy passes into the
+// shared output. Every other kernel must be byte-equivalent to this.
+void scalar_dot_multi(const std::uint8_t* c, std::size_t k,
+                      const std::uint8_t* const* xs, std::uint8_t* y,
+                      std::size_t n) {
+  for (std::size_t r = 0; r < k; ++r) scalar_axpy(c[r], xs[r], y, n);
+}
+
 // Drops c == 0 rows from a fused block; returns the compacted row count.
 // The word kernels pay per-row table setup and per-word work, so skipping
 // dead rows up front is worth the pass.
@@ -80,6 +88,20 @@ std::size_t compact_rows(const std::uint8_t* c, std::size_t k,
     if (c[r] == 0) continue;
     cc[m] = c[r];
     yr[m] = ys[r];
+    ++m;
+  }
+  return m;
+}
+
+// Gather-direction twin of compact_rows over the (const) input pointers.
+std::size_t compact_inputs(const std::uint8_t* c, std::size_t k,
+                           const std::uint8_t* const* xs, std::uint8_t* cc,
+                           const std::uint8_t** xr) {
+  std::size_t m = 0;
+  for (std::size_t r = 0; r < k; ++r) {
+    if (c[r] == 0) continue;
+    cc[m] = c[r];
+    xr[m] = xs[r];
     ++m;
   }
   return m;
@@ -186,10 +208,37 @@ void portable_mad_multi(const std::uint8_t* c, std::size_t k,
   }
 }
 
+// Fused SWAR gather: one bit table per live input, the accumulator word
+// loaded and stored once per kMaxFusedRows inputs.
+void portable_dot_multi(const std::uint8_t* c, std::size_t k,
+                        const std::uint8_t* const* xs, std::uint8_t* y,
+                        std::size_t n) {
+  for (std::size_t r0 = 0; r0 < k; r0 += kMaxFusedRows) {
+    const std::size_t kb = std::min(kMaxFusedRows, k - r0);
+    std::uint8_t cc[kMaxFusedRows];
+    const std::uint8_t* xr[kMaxFusedRows];
+    const std::size_t m = compact_inputs(c + r0, kb, xs + r0, cc, xr);
+    if (m == 0) continue;
+    BitTable bt[kMaxFusedRows];
+    for (std::size_t r = 0; r < m; ++r) bt[r] = make_bit_table(cc[r]);
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      std::uint64_t acc = load64(y + i);
+      for (std::size_t r = 0; r < m; ++r)
+        acc ^= mul64(load64(xr[r] + i), bt[r]);
+      store64(y + i, acc);
+    }
+    for (std::size_t r = 0; r < m; ++r)
+      scalar_axpy(cc[r], xr[r] + i, y + i, n - i);
+  }
+}
+
 constexpr Kernel kScalar{"scalar", scalar_axpy, scalar_mul_row,
-                         scalar_xor_into, scalar_mad_multi};
+                         scalar_xor_into, scalar_mad_multi,
+                         scalar_dot_multi};
 constexpr Kernel kPortable{"portable", portable_axpy, portable_mul_row,
-                           portable_xor_into, portable_mad_multi};
+                           portable_xor_into, portable_mad_multi,
+                           portable_dot_multi};
 
 // --------------------------------------------------------------- SIMD
 // ISA-L-style split-nibble tables: for every constant c two 16-entry
@@ -460,8 +509,93 @@ __attribute__((target("avx2"))) void avx2_mad_rows(const std::uint8_t* cc,
   }
 }
 
+// Fused split-nibble gather, the mirror of the *_mad_rows family above
+// with input/output roles swapped: the live-input count is a template
+// parameter so the per-input lo/hi tables stay register-resident, the
+// accumulator vector is loaded and stored once per pass, and every input
+// vector costs two pshufb + two xor — the structure of ISA-L's
+// gf_vect_dot_prod family.
+
+template <std::size_t M>
+__attribute__((target("ssse3"))) void ssse3_dot_rows(
+    const std::uint8_t* cc, const std::uint8_t* const* xr, std::uint8_t* y,
+    std::size_t n) {
+  __m128i lo[M], hi[M];
+  for (std::size_t r = 0; r < M; ++r) {
+    lo[r] =
+        _mm_load_si128(reinterpret_cast<const __m128i*>(kNibble.lo[cc[r]]));
+    hi[r] =
+        _mm_load_si128(reinterpret_cast<const __m128i*>(kNibble.hi[cc[r]]));
+  }
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i acc = _mm_loadu_si128(reinterpret_cast<const __m128i*>(y + i));
+    for (std::size_t r = 0; r < M; ++r) {
+      const __m128i v =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(xr[r] + i));
+      acc = _mm_xor_si128(acc, mul16(v, lo[r], hi[r], mask));
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(y + i), acc);
+  }
+  for (std::size_t r = 0; r < M; ++r)
+    scalar_axpy(cc[r], xr[r] + i, y + i, n - i);
+}
+
+template <std::size_t M>
+__attribute__((target("avx2"))) void avx2_dot_rows(const std::uint8_t* cc,
+                                                   const std::uint8_t* const* xr,
+                                                   std::uint8_t* y,
+                                                   std::size_t n) {
+  __m256i lo[M], hi[M];
+  for (std::size_t r = 0; r < M; ++r) {
+    lo[r] = _mm256_broadcastsi128_si256(
+        _mm_load_si128(reinterpret_cast<const __m128i*>(kNibble.lo[cc[r]])));
+    hi[r] = _mm256_broadcastsi128_si256(
+        _mm_load_si128(reinterpret_cast<const __m128i*>(kNibble.hi[cc[r]])));
+  }
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  // 64 bytes per iteration for the same reason as avx2_mad_rows: at
+  // M == 8 the sixteen tables spill, and two accumulator streams amortise
+  // the reloads over twice the bytes.
+  for (; i + 64 <= n; i += 64) {
+    __m256i acc0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + i));
+    __m256i acc1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + i + 32));
+    for (std::size_t r = 0; r < M; ++r) {
+      const __m256i v0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(xr[r] + i));
+      const __m256i v1 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(xr[r] + i + 32));
+      acc0 = _mm256_xor_si256(acc0, mul32(v0, lo[r], hi[r], mask));
+      acc1 = _mm256_xor_si256(acc1, mul32(v1, lo[r], hi[r], mask));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(y + i), acc0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(y + i + 32), acc1);
+  }
+  for (; i + 32 <= n; i += 32) {
+    __m256i acc = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + i));
+    for (std::size_t r = 0; r < M; ++r) {
+      const __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(xr[r] + i));
+      acc = _mm256_xor_si256(acc, mul32(v, lo[r], hi[r], mask));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(y + i), acc);
+  }
+  if (i < n) {
+    // 16-byte step plus scalar tail via the SSSE3 row kernel.
+    const std::uint8_t* tail[M];
+    for (std::size_t r = 0; r < M; ++r) tail[r] = xr[r] + i;
+    ssse3_dot_rows<M>(cc, tail, y + i, n - i);
+  }
+}
+
 using MadRowsFn = void (*)(const std::uint8_t*, const std::uint8_t*,
                            std::uint8_t* const*, std::size_t);
+using DotRowsFn = void (*)(const std::uint8_t*, const std::uint8_t* const*,
+                           std::uint8_t*, std::size_t);
 
 // Shared tile-compact-dispatch wrapper behind every SIMD mad_multi:
 // split the batch into kMaxFusedRows blocks, drop zero rows, and jump to
@@ -475,6 +609,19 @@ void tiled_mad_multi(const MadRowsFn* rows_fns, const std::uint8_t* c,
     std::uint8_t* yr[kMaxFusedRows];
     const std::size_t m = compact_rows(c + r0, kb, ys + r0, cc, yr);
     if (m != 0) rows_fns[m - 1](cc, x, yr, n);
+  }
+}
+
+// The same wrapper for the gather direction.
+void tiled_dot_multi(const DotRowsFn* rows_fns, const std::uint8_t* c,
+                     std::size_t k, const std::uint8_t* const* xs,
+                     std::uint8_t* y, std::size_t n) {
+  for (std::size_t r0 = 0; r0 < k; r0 += kMaxFusedRows) {
+    const std::size_t kb = std::min(kMaxFusedRows, k - r0);
+    std::uint8_t cc[kMaxFusedRows];
+    const std::uint8_t* xr[kMaxFusedRows];
+    const std::size_t m = compact_inputs(c + r0, kb, xs + r0, cc, xr);
+    if (m != 0) rows_fns[m - 1](cc, xr, y, n);
   }
 }
 
@@ -512,10 +659,40 @@ void avx2_mad_multi(const std::uint8_t* c, std::size_t k,
   tiled_mad_multi(kRows, c, k, x, ys, n);
 }
 
+// The gather direction shares mad_multi's small-payload policy: below
+// ~half a KiB the 2*M nibble tables spill and repeated axpy wins.
+void ssse3_dot_multi(const std::uint8_t* c, std::size_t k,
+                     const std::uint8_t* const* xs, std::uint8_t* y,
+                     std::size_t n) {
+  if (n < kPshufbFusedMinBytes) {
+    for (std::size_t r = 0; r < k; ++r) ssse3_axpy(c[r], xs[r], y, n);
+    return;
+  }
+  static constexpr DotRowsFn kRows[kMaxFusedRows] = {
+      ssse3_dot_rows<1>, ssse3_dot_rows<2>, ssse3_dot_rows<3>,
+      ssse3_dot_rows<4>, ssse3_dot_rows<5>, ssse3_dot_rows<6>,
+      ssse3_dot_rows<7>, ssse3_dot_rows<8>};
+  tiled_dot_multi(kRows, c, k, xs, y, n);
+}
+
+void avx2_dot_multi(const std::uint8_t* c, std::size_t k,
+                    const std::uint8_t* const* xs, std::uint8_t* y,
+                    std::size_t n) {
+  if (n < kPshufbFusedMinBytes) {
+    for (std::size_t r = 0; r < k; ++r) avx2_axpy(c[r], xs[r], y, n);
+    return;
+  }
+  static constexpr DotRowsFn kRows[kMaxFusedRows] = {
+      avx2_dot_rows<1>, avx2_dot_rows<2>, avx2_dot_rows<3>,
+      avx2_dot_rows<4>, avx2_dot_rows<5>, avx2_dot_rows<6>,
+      avx2_dot_rows<7>, avx2_dot_rows<8>};
+  tiled_dot_multi(kRows, c, k, xs, y, n);
+}
+
 constexpr Kernel kSsse3{"ssse3", ssse3_axpy, ssse3_mul_row, ssse3_xor_into,
-                        ssse3_mad_multi};
+                        ssse3_mad_multi, ssse3_dot_multi};
 constexpr Kernel kAvx2{"avx2", avx2_axpy, avx2_mul_row, avx2_xor_into,
-                       avx2_mad_multi};
+                       avx2_mad_multi, avx2_dot_multi};
 
 // ------------------------------------------------------- GFNI + AVX-512
 // gf2p8affineqb applies an arbitrary 8x8 GF(2) bit matrix to every byte
@@ -681,10 +858,63 @@ void gfni_mad_multi(const std::uint8_t* c, std::size_t k,
   tiled_mad_multi(kRows, c, k, x, ys, n);
 }
 
+// Gather mirror of gfni_mad_rows: all M affine matrices plus two
+// accumulator streams stay register-resident out of the 32 zmm registers,
+// so every 64 input bytes cost one load and one gf2p8affineqb.
+template <std::size_t M>
+THINAIR_GFNI_TARGET void gfni_dot_rows(const std::uint8_t* cc,
+                                       const std::uint8_t* const* xr,
+                                       std::uint8_t* y, std::size_t n) {
+  __m512i a[M];
+  for (std::size_t r = 0; r < M; ++r)
+    a[r] = _mm512_set1_epi64(static_cast<long long>(kGfniMat[cc[r]]));
+  std::size_t i = 0;
+  for (; i + 128 <= n; i += 128) {
+    __m512i acc0 = _mm512_loadu_si512(y + i);
+    __m512i acc1 = _mm512_loadu_si512(y + i + 64);
+    for (std::size_t r = 0; r < M; ++r) {
+      const __m512i v0 = _mm512_loadu_si512(xr[r] + i);
+      const __m512i v1 = _mm512_loadu_si512(xr[r] + i + 64);
+      acc0 = _mm512_xor_si512(acc0, _mm512_gf2p8affine_epi64_epi8(v0, a[r], 0));
+      acc1 = _mm512_xor_si512(acc1, _mm512_gf2p8affine_epi64_epi8(v1, a[r], 0));
+    }
+    _mm512_storeu_si512(y + i, acc0);
+    _mm512_storeu_si512(y + i + 64, acc1);
+  }
+  for (; i + 64 <= n; i += 64) {
+    __m512i acc = _mm512_loadu_si512(y + i);
+    for (std::size_t r = 0; r < M; ++r) {
+      const __m512i v = _mm512_loadu_si512(xr[r] + i);
+      acc = _mm512_xor_si512(acc, _mm512_gf2p8affine_epi64_epi8(v, a[r], 0));
+    }
+    _mm512_storeu_si512(y + i, acc);
+  }
+  if (i < n) {
+    const __mmask64 m = tail_mask(n - i);
+    __m512i acc = _mm512_maskz_loadu_epi8(m, y + i);
+    for (std::size_t r = 0; r < M; ++r) {
+      const __m512i v = _mm512_maskz_loadu_epi8(m, xr[r] + i);
+      acc = _mm512_xor_si512(acc, _mm512_gf2p8affine_epi64_epi8(v, a[r], 0));
+    }
+    _mm512_mask_storeu_epi8(y + i, m, acc);
+  }
+}
+
+void gfni_dot_multi(const std::uint8_t* c, std::size_t k,
+                    const std::uint8_t* const* xs, std::uint8_t* y,
+                    std::size_t n) {
+  // As with gfni_mad_multi: no small-n fallback needed.
+  static constexpr DotRowsFn kRows[kMaxFusedRows] = {
+      gfni_dot_rows<1>, gfni_dot_rows<2>, gfni_dot_rows<3>,
+      gfni_dot_rows<4>, gfni_dot_rows<5>, gfni_dot_rows<6>,
+      gfni_dot_rows<7>, gfni_dot_rows<8>};
+  tiled_dot_multi(kRows, c, k, xs, y, n);
+}
+
 #undef THINAIR_GFNI_TARGET
 
 constexpr Kernel kGfni{"gfni", gfni_axpy, gfni_mul_row, gfni_xor_into,
-                       gfni_mad_multi};
+                       gfni_mad_multi, gfni_dot_multi};
 
 bool cpu_has_ssse3() { return __builtin_cpu_supports("ssse3") != 0; }
 bool cpu_has_avx2() { return __builtin_cpu_supports("avx2") != 0; }

@@ -8,10 +8,15 @@
 //   axpy      y[i] ^= c * x[i]      (packet combining, the workhorse)
 //   mul_row   y[i]  = c * x[i]      (row normalisation; x == y allowed)
 //   xor_into  y[i] ^= x[i]          (the c == 1 fast path)
-//   mad_multi ys[r][i] ^= c[r]*x[i] (fused multi-row accumulate: encode up
-//                                    to kMaxFusedRows output rows per pass
+//   mad_multi ys[r][i] ^= c[r]*x[i] (fused scatter: encode up to
+//                                    kMaxFusedRows output rows per pass
 //                                    over the shared input, ISA-L
 //                                    gf_vect_mad-style)
+//   dot_multi y[i] ^= Σ c[r]*xs[r][i] (fused gather: decode one output row
+//                                    from up to kMaxFusedRows inputs per
+//                                    pass, ISA-L gf_vect_dot_prod-style —
+//                                    the mirror of mad_multi for the
+//                                    reconstruct/repair/analysis side)
 //
 // This header exposes them as a small vtable so the hot loops can be
 // retargeted at runtime: a scalar log/exp baseline, a portable 64-bit
@@ -30,7 +35,8 @@
 //
 // Aliasing: x and y must either not overlap or be exactly equal
 // (mul_row's in-place scale). Partial overlap is undefined. For mad_multi
-// the output rows must be pairwise disjoint and none may overlap x.
+// the output rows must be pairwise disjoint and none may overlap x; for
+// dot_multi the output must not overlap any input (inputs may repeat).
 
 #include <cstddef>
 #include <cstdint>
@@ -60,6 +66,13 @@ struct Kernel {
   /// Any k is accepted (tiled internally); c[r] == 0 rows are skipped.
   void (*mad_multi)(const std::uint8_t* c, std::size_t k,
                     const std::uint8_t* x, std::uint8_t* const* ys,
+                    std::size_t n);
+  /// y[i] ^= sum over r < k of c[r] * xs[r][i] — byte-exact equal to k
+  /// repeated axpy calls into the shared output, but loading/storing y
+  /// once per kMaxFusedRows inputs. Any k is accepted (tiled internally);
+  /// c[r] == 0 inputs are skipped and never dereferenced.
+  void (*dot_multi)(const std::uint8_t* c, std::size_t k,
+                    const std::uint8_t* const* xs, std::uint8_t* y,
                     std::size_t n);
 };
 
@@ -105,6 +118,13 @@ inline void mad_multi(const std::uint8_t* c, std::size_t k,
   active_kernel().mad_multi(c, k, x, ys, n);
 }
 
+/// y[i] ^= sum_r c[r] * xs[r][i] through the active kernel.
+inline void dot_multi(const std::uint8_t* c, std::size_t k,
+                      const std::uint8_t* const* xs, std::uint8_t* y,
+                      std::size_t n) {
+  active_kernel().dot_multi(c, k, xs, y, n);
+}
+
 /// Batches (coefficient, output-row) pairs against one shared input and
 /// flushes them through mad_multi in blocks of kMaxFusedRows — the
 /// elimination-loop shape (Matrix::row_reduce, LinearSpace back-
@@ -139,6 +159,44 @@ class MadBatch {
   const Kernel& kernel_;
   std::uint8_t cc_[kMaxFusedRows];
   std::uint8_t* ys_[kMaxFusedRows];
+  std::size_t live_ = 0;
+};
+
+/// The gather-direction mirror of MadBatch: batches (coefficient, input-
+/// row) pairs against one shared output and flushes them through
+/// dot_multi in blocks of kMaxFusedRows — the decode-loop shape
+/// (reconstruct_y, LinearSpace::reduce, the repair back-substitutions)
+/// where the live inputs are discovered one at a time. Zero coefficients
+/// are dropped on add(). The destructor flushes whatever is pending; call
+/// flush() explicitly where the result must be visible before the batch
+/// goes out of scope.
+class DotBatch {
+ public:
+  DotBatch(std::uint8_t* y, std::size_t n)
+      : y_(y), n_(n), kernel_(active_kernel()) {}
+  ~DotBatch() { flush(); }
+  DotBatch(const DotBatch&) = delete;
+  DotBatch& operator=(const DotBatch&) = delete;
+
+  void add(std::uint8_t c, const std::uint8_t* x) {
+    if (c == 0) return;
+    cc_[live_] = c;
+    xs_[live_] = x;
+    if (++live_ == kMaxFusedRows) flush();
+  }
+
+  void flush() {
+    if (live_ == 0) return;
+    kernel_.dot_multi(cc_, live_, xs_, y_, n_);
+    live_ = 0;
+  }
+
+ private:
+  std::uint8_t* y_;
+  std::size_t n_;
+  const Kernel& kernel_;
+  std::uint8_t cc_[kMaxFusedRows];
+  const std::uint8_t* xs_[kMaxFusedRows];
   std::size_t live_ = 0;
 };
 

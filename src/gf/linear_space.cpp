@@ -8,11 +8,17 @@
 namespace thinair::gf {
 
 std::size_t LinearSpace::reduce(std::vector<std::uint8_t>& v) const {
-  for (std::size_t b = 0; b < basis_.size(); ++b) {
-    const std::size_t p = pivots_[b];
-    const GF256 c{v[p]};
-    if (!c.is_zero()) axpy(c, basis_[b].data(), v.data(), dim_);
-  }
+  // Fused gather: v is the shared output, blocks of kMaxFusedRows basis
+  // rows the inputs. Reading every coefficient v[pivot] up front (rather
+  // than interleaved with the eliminations) is sound because the basis is
+  // fully reduced — each basis row is zero at every *other* basis row's
+  // pivot, so eliminating with row b never changes v at another row's
+  // pivot column. This is the one elimination loop behind insert(),
+  // contains() and residual_rank()'s fixed-basis phase.
+  DotBatch batch(v.data(), dim_);
+  for (std::size_t b = 0; b < basis_.size(); ++b)
+    batch.add(v[pivots_[b]], basis_[b].data());
+  batch.flush();
   for (std::size_t i = 0; i < dim_; ++i)
     if (v[i] != 0) return i;
   return dim_;

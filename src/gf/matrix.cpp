@@ -3,7 +3,7 @@
 #include <ostream>
 #include <stdexcept>
 
-#include "gf/encode.h"
+#include "gf/gather.h"
 #include "gf/kernels.h"
 
 namespace thinair::gf {
@@ -28,16 +28,17 @@ Matrix Matrix::identity(std::size_t n) {
 
 namespace {
 
-// out += lhs * rhs: a matrix product IS a fused encode of rhs's rows (the
-// "payloads") under lhs's coefficients, so share gf::encode's row-block
-// tiling. XOR accumulation over exact field products is order-
-// independent, so the bytes match the row-by-row formulation exactly.
+// out += lhs * rhs: each output row IS a fused gather of rhs's rows (the
+// "payloads") under the matching lhs row's coefficients, so the inner
+// accumulation runs through gf::gather / dot_multi — the decode-direction
+// shape (the analysis products H*G and C*G are tall-input, short-output).
+// XOR accumulation over exact field products is order-independent, so the
+// bytes match the axpy-per-coefficient formulation exactly.
 void mul_into(const Matrix& lhs, const Matrix& rhs, Matrix& out) {
   std::vector<std::span<const std::uint8_t>> ins(rhs.rows());
   for (std::size_t k = 0; k < rhs.rows(); ++k) ins[k] = rhs.row(k);
-  std::vector<std::span<std::uint8_t>> outs(out.rows());
-  for (std::size_t i = 0; i < out.rows(); ++i) outs[i] = out.row(i);
-  encode(lhs, ins, outs, rhs.cols());
+  for (std::size_t i = 0; i < out.rows(); ++i)
+    gather(lhs.row(i), ins, out.row(i));
 }
 
 }  // namespace

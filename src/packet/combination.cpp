@@ -3,12 +3,17 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "gf/kernels.h"
+
 namespace thinair::packet {
 
 namespace {
 
 // Shared accumulation loop for both input representations. `Inputs` only
 // needs size() and operator[] returning something with size()/data().
+// Fused on the gather side: the combination's terms batch through
+// gf::DotBatch so the output payload is loaded/stored once per block of
+// gf::kMaxFusedRows terms instead of once per term.
 template <typename Inputs>
 void accumulate(const std::vector<Term>& terms, const Inputs& inputs,
                 ByteSpan out) {
@@ -22,14 +27,16 @@ void accumulate(const std::vector<Term>& terms, const Inputs& inputs,
              "Combination term index out of range");
     return;
   }
+  gf::DotBatch batch(out.data(), out.size());
   for (const Term& t : terms) {
     if (t.index >= inputs.size())
       throw std::out_of_range("Combination::apply: index out of range");
     const auto& in = inputs[t.index];
     if (in.size() != out.size())
       throw std::invalid_argument("Combination::apply: payload size mismatch");
-    gf::axpy(t.coeff, in.data(), out.data(), out.size());
+    batch.add(t.coeff.value(), in.data());
   }
+  batch.flush();
 }
 
 }  // namespace

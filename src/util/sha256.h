@@ -1,0 +1,53 @@
+#pragma once
+// Minimal SHA-256 (FIPS 180-4) for golden-artifact pinning.
+//
+// The runtime's determinism contract says a scenario's full NDJSON output
+// is a pure function of (spec, master seed) — independent of kernel,
+// thread count and case schedule. The golden-regression suite pins that
+// contract as one 64-hex-character digest per scenario instead of
+// megabytes of checked-in NDJSON; this is the hash it uses. Not a
+// cryptographic dependency of the protocol itself (the paper's secrets
+// need no hashing) — just a fingerprint, implemented here so the tests
+// stay free of external libraries.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace thinair::util {
+
+/// Streaming SHA-256. update() any number of times, then digest()/hex().
+/// Finalisation is idempotent — repeated digest()/hex() calls return the
+/// same value — but update() after finalising is a programming error
+/// (asserted in debug builds, ignored in release).
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view text);
+
+  /// Finalise (first call) and return the 32-byte digest.
+  [[nodiscard]] std::array<std::uint8_t, 32> digest();
+
+  /// Finalise and return the digest as 64 lowercase hex characters.
+  [[nodiscard]] std::string hex();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint64_t total_bytes_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffered_ = 0;
+  bool finalized_ = false;
+  std::array<std::uint8_t, 32> final_digest_{};
+};
+
+/// One-shot convenience: SHA-256 of `text` as lowercase hex.
+[[nodiscard]] std::string sha256_hex(std::string_view text);
+
+}  // namespace thinair::util

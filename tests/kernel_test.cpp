@@ -16,6 +16,7 @@
 
 #include "channel/rng.h"
 #include "gf/encode.h"
+#include "gf/gather.h"
 #include "packet/arena.h"
 #include "packet/combination.h"
 #include "runtime/engine.h"
@@ -141,6 +142,90 @@ TEST(Kernels, MadMultiEqualsRepeatedAxpy) {
   }
 }
 
+// The gather-direction differential satellite: for every kernel,
+// dot_multi over k in 1..kMaxFusedRows inputs must be byte-identical to
+// k repeated axpy calls into the shared output, across a 0..8 KiB size
+// ladder, unaligned offsets, and coefficient patterns that include 0
+// (skipped inputs) and 1 (xor inputs).
+TEST(Kernels, DotMultiEqualsRepeatedAxpy) {
+  const gf::Kernel& ref = gf::scalar_kernel();
+  constexpr std::size_t kSizes[] = {0,  1,   7,   8,    15,  16,  17,
+                                    31, 32,  33,  63,   64,  65,  100,
+                                    255, 256, 1000, 4096, 8192};
+  constexpr std::size_t kOffsets[] = {0, 1, 3};
+  constexpr std::size_t kMax = 8192 + 8;
+
+  channel::Rng coeff_rng(77);
+  for (const gf::Kernel* kernel : gf::all_kernels()) {
+    SCOPED_TRACE(kernel->name);
+    for (std::size_t k = 1; k <= gf::kMaxFusedRows; ++k) {
+      for (const std::size_t n : kSizes) {
+        for (const std::size_t off : kOffsets) {
+          std::uint8_t c[gf::kMaxFusedRows];
+          for (std::size_t r = 0; r < k; ++r) {
+            // Exercise the special values alongside random coefficients.
+            const std::uint8_t roll = coeff_rng.next_byte();
+            c[r] = roll < 32 ? std::uint8_t{0}
+                   : roll < 64 ? std::uint8_t{1}
+                               : coeff_rng.next_byte();
+          }
+          std::vector<std::vector<std::uint8_t>> ins;
+          const std::uint8_t* xs[gf::kMaxFusedRows];
+          for (std::size_t r = 0; r < k; ++r) {
+            ins.push_back(random_bytes(kMax, 200 + r));
+            xs[r] = ins.back().data() + off;
+          }
+          std::vector<std::uint8_t> want = random_bytes(kMax, 99);
+          std::vector<std::uint8_t> got = want;
+          for (std::size_t r = 0; r < k; ++r)
+            ref.axpy(c[r], xs[r], want.data() + off, n);
+          kernel->dot_multi(c, k, xs, got.data() + off, n);
+          ASSERT_EQ(want, got) << "k=" << k << " n=" << n << " off=" << off;
+        }
+      }
+    }
+  }
+}
+
+// An all-zero coefficient block must leave the output untouched and must
+// never dereference the inputs (empty-span convention of reconstruct_y).
+TEST(Kernels, DotMultiAllZeroCoefficientsLeaveOutputUntouched) {
+  const std::size_t n = 1024;
+  std::uint8_t c[gf::kMaxFusedRows] = {};  // all zero
+  const std::uint8_t* xs[gf::kMaxFusedRows] = {};  // null: must not be read
+  for (const gf::Kernel* kernel : gf::all_kernels()) {
+    SCOPED_TRACE(kernel->name);
+    const std::vector<std::uint8_t> before = random_bytes(n, 5);
+    std::vector<std::uint8_t> y = before;
+    kernel->dot_multi(c, gf::kMaxFusedRows, xs, y.data(), n);
+    EXPECT_EQ(y, before);
+  }
+}
+
+// dot_multi must also tile batches larger than kMaxFusedRows on its own.
+TEST(Kernels, DotMultiTilesLargeBatches) {
+  const std::size_t k = 2 * gf::kMaxFusedRows + 3;
+  const std::size_t n = 777;
+  std::vector<std::uint8_t> c;
+  for (std::size_t r = 0; r < k; ++r)
+    c.push_back(static_cast<std::uint8_t>(r * 13 % 256));
+  std::vector<std::vector<std::uint8_t>> ins;
+  std::vector<const std::uint8_t*> xs(k);
+  for (std::size_t r = 0; r < k; ++r) {
+    ins.push_back(random_bytes(n, 400 + r));
+    xs[r] = ins.back().data();
+  }
+  for (const gf::Kernel* kernel : gf::all_kernels()) {
+    SCOPED_TRACE(kernel->name);
+    std::vector<std::uint8_t> want = random_bytes(n, 17);
+    std::vector<std::uint8_t> got = want;
+    for (std::size_t r = 0; r < k; ++r)
+      gf::scalar_kernel().axpy(c[r], xs[r], want.data(), n);
+    kernel->dot_multi(c.data(), k, xs.data(), got.data(), n);
+    EXPECT_EQ(want, got);
+  }
+}
+
 // mad_multi must also tile batches larger than kMaxFusedRows on its own.
 TEST(Kernels, MadMultiTilesLargeBatches) {
   const std::size_t k = 2 * gf::kMaxFusedRows + 3;
@@ -202,6 +287,64 @@ TEST(Encode, MatchesRowByRowAxpy) {
   std::vector<packet::ConstByteSpan> bad = ins;
   bad[0] = bad[0].subspan(1);
   EXPECT_THROW((void)gf::encode(m, bad, payload, arena),
+               std::invalid_argument);
+}
+
+// gf::gather vs the naive coefficient-by-coefficient axpy evaluation,
+// under every registered kernel (the wrapper dispatches through the
+// active kernel's dot_multi), with zero coefficients over empty spans.
+TEST(Gather, MatchesRepeatedAxpyUnderEveryKernel) {
+  packet::PayloadArena arena;
+  channel::Rng rng(123);
+  const std::size_t cols = 37, payload = 600;  // > one kMaxFusedRows tile
+  std::vector<std::uint8_t> coeffs(cols);
+  for (std::size_t j = 0; j < cols; ++j)
+    coeffs[j] = rng.bernoulli(0.25) ? std::uint8_t{0} : rng.next_byte();
+
+  std::vector<std::vector<std::uint8_t>> in_data(cols);
+  std::vector<std::span<const std::uint8_t>> ins(cols);
+  for (std::size_t j = 0; j < cols; ++j) {
+    if (coeffs[j] == 0) continue;  // dead inputs stay empty spans
+    in_data[j] = random_bytes(payload, 700 + j);
+    ins[j] = in_data[j];
+  }
+
+  std::vector<std::uint8_t> want(payload, 0);
+  for (std::size_t j = 0; j < cols; ++j)
+    if (coeffs[j] != 0)
+      gf::scalar_kernel().axpy(coeffs[j], ins[j].data(), want.data(),
+                               payload);
+
+  KernelGuard guard;
+  for (const gf::Kernel* k : gf::all_kernels()) {
+    SCOPED_TRACE(k->name);
+    ASSERT_TRUE(gf::set_active_kernel(k->name));
+    // Accumulating form seeds the output (the repair-path shape)...
+    std::vector<std::uint8_t> seeded = random_bytes(payload, 3);
+    std::vector<std::uint8_t> got = seeded;
+    gf::gather(coeffs, ins, got);
+    for (std::size_t i = 0; i < payload; ++i)
+      ASSERT_EQ(got[i], want[i] ^ seeded[i]) << i;
+    // ... and the arena form allocates a zeroed output itself.
+    const std::span<const std::uint8_t> fresh =
+        gf::gather(coeffs, ins, payload, arena);
+    EXPECT_TRUE(std::equal(want.begin(), want.end(), fresh.begin(),
+                           fresh.end()));
+  }
+
+  // Shape and size mismatches are rejected.
+  std::vector<std::uint8_t> out(payload, 0);
+  std::vector<std::span<const std::uint8_t>> short_ins(ins.begin(),
+                                                       ins.end() - 1);
+  EXPECT_THROW(gf::gather(coeffs, short_ins, out), std::invalid_argument);
+  std::vector<std::span<const std::uint8_t>> bad = ins;
+  for (std::size_t j = 0; j < cols; ++j)
+    if (coeffs[j] != 0) {
+      bad[j] = bad[j].subspan(1);
+      break;
+    }
+  EXPECT_THROW(gf::gather(coeffs, bad, out), std::invalid_argument);
+  EXPECT_THROW((void)gf::gather(coeffs, ins, 0, arena),
                std::invalid_argument);
 }
 

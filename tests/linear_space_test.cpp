@@ -105,6 +105,98 @@ TEST(LinearSpace, BasisIsRowReducedAndSpansInserted) {
   EXPECT_EQ(b.at(1, 2), kOne);
 }
 
+// Regression for the shared gather-path elimination (reduce() now batches
+// basis rows through dot_multi, reading every coefficient up front):
+// inserting rows dependent on the existing basis must never grow it, in
+// any insertion order, including rows that mix many basis rows at once.
+TEST(LinearSpace, DependentInsertsNeverGrowBasis) {
+  const std::size_t dim = 24;
+  const Matrix g = mds::vandermonde(10, dim);
+  LinearSpace s(dim);
+  EXPECT_EQ(s.insert_rows(g), 10u);
+
+  // Every GF(2^8)-combination of basis rows reduces to zero — try dense
+  // combinations touching all 10 rows (the fused path flushes two full
+  // kMaxFusedRows blocks here), sparse ones, and scaled single rows.
+  for (unsigned trial = 0; trial < 32; ++trial) {
+    std::vector<std::uint8_t> v(dim, 0);
+    for (std::size_t r = 0; r < g.rows(); ++r) {
+      const auto c = GF256(static_cast<std::uint8_t>(
+          (trial * 37 + r * 11 + 1) % 256));
+      if (trial % 3 == 1 && r % 2 == 0) continue;  // sparse mixes
+      for (std::size_t j = 0; j < dim; ++j)
+        v[j] = (GF256(v[j]) + c * g.at(r, j)).value();
+    }
+    EXPECT_FALSE(s.insert(v)) << "trial " << trial;
+    EXPECT_EQ(s.rank(), 10u);
+  }
+  // The basis stays fully reduced: re-inserting its own rows is a no-op.
+  const Matrix b = s.basis();
+  for (std::size_t i = 0; i < b.rows(); ++i) EXPECT_FALSE(s.insert(b.row(i)));
+}
+
+// Rank queries must be observably side-effect-free: residual_rank and
+// contains leave basis bytes, rank and pivot structure untouched.
+TEST(LinearSpace, RankQueriesAreSideEffectFree) {
+  const std::size_t dim = 16;
+  LinearSpace s(dim);
+  s.insert_rows(mds::vandermonde(5, dim));
+  const Matrix before = s.basis();
+
+  const Matrix probe = mds::cauchy(7, dim);
+  const std::size_t r1 = s.residual_rank(probe);
+  const std::size_t r2 = s.residual_rank(probe);
+  EXPECT_EQ(r1, r2);  // repeatable
+  EXPECT_EQ(r1, before.vstack(probe).rank() - before.rows());
+  (void)s.contains(probe.row(0));
+  EXPECT_EQ(s.rank(), 5u);
+  EXPECT_EQ(s.basis(), before);
+
+  // residual_rank caps at dim - rank regardless of how many probe rows
+  // arrive (the fresh-candidate elimination half of the shared path).
+  const Matrix wide = mds::vandermonde(dim, dim);
+  EXPECT_EQ(s.residual_rank(wide), dim - 5u);
+  EXPECT_EQ(s.basis(), before);
+}
+
+// Cross-check the gather-based elimination against dense rank: for
+// random row sets, rank(space) computed incrementally must equal
+// Matrix::rank of the stacked rows, and residual_rank must equal
+// rank([basis; m]) - rank(basis).
+TEST(LinearSpace, AgreesWithDenseRankArithmetic) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const std::size_t dim = 20;
+    Matrix rows(12, dim);
+    // Deterministic pseudo-random fill with plenty of dependent rows.
+    std::uint64_t state = seed * 0x9E3779B97F4A7C15ull;
+    const auto next = [&state] {
+      state ^= state << 13;
+      state ^= state >> 7;
+      state ^= state << 17;
+      return static_cast<std::uint8_t>(state >> 32);
+    };
+    for (std::size_t i = 0; i < rows.rows(); ++i) {
+      if (i >= 6 && next() % 2 == 0) {
+        // Copy a scaled earlier row: guaranteed dependent.
+        const GF256 c(static_cast<std::uint8_t>(next() | 1));
+        for (std::size_t j = 0; j < dim; ++j)
+          rows.set(i, j, c * rows.at(i % 6, j));
+        continue;
+      }
+      for (std::size_t j = 0; j < dim; ++j)
+        rows.set(i, j, GF256(next() % 4 == 0 ? next() : 0));
+    }
+    LinearSpace s(dim);
+    s.insert_rows(rows);
+    EXPECT_EQ(s.rank(), rows.rank()) << "seed " << seed;
+
+    const Matrix probe = mds::vandermonde(5, dim);
+    const std::size_t expect =
+        s.basis().vstack(probe).rank() - s.rank();
+    EXPECT_EQ(s.residual_rank(probe), expect) << "seed " << seed;
+  }
+}
+
 // Property: inserting the rows of an MDS generator one by one grows rank
 // by exactly one each time (they are always independent).
 class MdsInsertSweep : public ::testing::TestWithParam<std::size_t> {};

@@ -1,0 +1,226 @@
+// Randomized round-trip fuzz for the spec front-end: ~500 seeded random
+// ScenarioSpecs must survive parse(describe(S)) == S, serialize as a
+// fixed point, and stay bit-identical when every serialized value is
+// --set back onto them (override idempotence). This is the property the
+// `thinair describe` / `--spec` / `--set` surface is built on; the
+// hand-picked cases live in spec_test.cpp, this suite walks the space.
+#include "runtime/spec_parse.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "channel/rng.h"
+#include "runtime/result_sink.h"  // format_double
+
+namespace thinair::runtime {
+namespace {
+
+// All random values are chosen exactly representable (small integers
+// scaled by powers of two), so equality after a text round-trip cannot
+// hinge on double-formatting corner cases — the serializer's
+// shortest-round-trip contract is tested separately by the built-in
+// suite; here the generator stays conservative so a failure always means
+// a front-end bug.
+
+double rnd_prob(channel::Rng& rng) {
+  return static_cast<double>(rng.next_byte() % 65) / 64.0;
+}
+
+double rnd_double(channel::Rng& rng, double lo, double hi) {
+  const double t = static_cast<double>(rng.next_byte()) / 256.0;
+  // Snap to 1/16 steps: exactly representable and within [lo, hi].
+  const double v = lo + t * (hi - lo);
+  return lo + static_cast<double>(static_cast<int>((v - lo) * 16.0)) / 16.0;
+}
+
+std::size_t rnd_int(channel::Rng& rng, std::size_t lo, std::size_t hi) {
+  return lo + rng.next_byte() % (hi - lo + 1);
+}
+
+bool rnd_bool(channel::Rng& rng) { return rng.next_byte() % 2 == 0; }
+
+std::string rnd_string(channel::Rng& rng) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 "
+      "-_.:,;!?#[]=\"\\";
+  std::string out;
+  const std::size_t len = rng.next_byte() % 24;
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::uint8_t roll = rng.next_byte();
+    if (roll < 8) {
+      out += '\n';  // exercises the \n escape
+    } else {
+      out += kAlphabet[roll % (sizeof(kAlphabet) - 1)];
+    }
+  }
+  return out;
+}
+
+ScenarioSpec random_spec(std::uint64_t seed) {
+  channel::Rng rng(seed);
+  ScenarioSpec s;
+  s.name = rnd_string(rng);
+  s.description = rnd_string(rng);
+
+  // Channel: every model kind, every knob the grammar exposes.
+  const auto& models = channel::channel_model_names();
+  s.channel.model =
+      *channel::channel_model_from_string(models[rng.next_byte() %
+                                                 models.size()]);
+  s.channel.iid_p = rnd_prob(rng);
+  s.channel.default_p = rnd_prob(rng);
+  const std::size_t n_links = rng.next_byte() % 4;
+  for (std::size_t i = 0; i < n_links; ++i)
+    s.channel.links.push_back(channel::LinkErasure{
+        static_cast<std::uint16_t>(rng.next_byte() % 16),
+        static_cast<std::uint16_t>(rng.next_byte() % 16), rnd_prob(rng)});
+  // Perfect-square area: side = sqrt(k^2) = k and k * k = area, both
+  // exact, so the area <-> side conversion cannot drift.
+  const double side = static_cast<double>(rnd_int(rng, 5, 40));
+  s.channel.testbed.grid = channel::CellGrid(side * side);
+  s.channel.testbed.interference_enabled = rnd_bool(rng);
+  s.channel.testbed.pathloss.tx_power_dbm = rnd_double(rng, -10.0, 30.0);
+  s.channel.testbed.pathloss.ref_loss_db = rnd_double(rng, 20.0, 60.0);
+  s.channel.testbed.pathloss.exponent = rnd_double(rng, 2.0, 5.0);
+  s.channel.testbed.pathloss.min_distance_m = rnd_double(rng, 0.5, 2.0);
+  s.channel.testbed.interferer.tx_power_dbm = rnd_double(rng, -10.0, 30.0);
+  s.channel.testbed.interferer.sidelobe_rejection_db =
+      rnd_double(rng, 0.0, 30.0);
+  s.channel.testbed.sinr.noise_floor_dbm = rnd_double(rng, -100.0, -80.0);
+  s.channel.testbed.sinr.per_threshold_db = rnd_double(rng, 0.0, 10.0);
+  s.channel.testbed.sinr.per_scale_db = rnd_double(rng, 1.0, 8.0);
+  s.channel.testbed.sinr.floor = rnd_prob(rng) / 2.0;
+  s.channel.testbed.sinr.ceiling =
+      0.5 + rnd_prob(rng) / 2.0;  // keep ceiling >= floor
+
+  // Topology: n lists (possibly empty), caps, cells, positions.
+  s.topology.n_values.clear();
+  const std::size_t n_count = rng.next_byte() % 5;
+  for (std::size_t i = 0; i < n_count; ++i)
+    s.topology.n_values.push_back(rnd_int(rng, 2, 8));
+  s.topology.max_placements = rnd_int(rng, 0, 200);
+  const std::size_t n_cells = rng.next_byte() % 5;
+  for (std::size_t i = 0; i < n_cells; ++i)
+    s.topology.cells.push_back(rng.next_byte() % channel::CellGrid::kCells);
+  s.topology.eve_cell = rng.next_byte() % channel::CellGrid::kCells;
+  const std::size_t n_pos = rng.next_byte() % 3;
+  for (std::size_t i = 0; i < n_pos; ++i)
+    s.topology.positions.push_back(channel::Vec2{
+        rnd_double(rng, 0.0, 30.0), rnd_double(rng, 0.0, 30.0)});
+  if (rnd_bool(rng))
+    s.topology.eve_position =
+        channel::Vec2{rnd_double(rng, 0.0, 30.0), rnd_double(rng, 0.0, 30.0)};
+
+  // Session.
+  s.session.x_packets = rnd_int(rng, 1, 255);
+  s.session.payload_bytes = rnd_int(rng, 1, 255);
+  s.session.rounds = rnd_int(rng, 0, 12);
+  s.session.rotate_alice = rnd_bool(rng);
+  s.session.pool = rnd_bool(rng) ? core::PoolStrategy::kClassShared
+                                 : core::PoolStrategy::kTerminalMds;
+
+  // Estimator axis: 1..3 series over every kind, with and without caps.
+  const auto& kinds = core::estimator_kind_names();
+  s.estimator.series.clear();
+  const std::size_t n_series = rnd_int(rng, 1, 3);  // empty is a parse error
+  for (std::size_t i = 0; i < n_series; ++i)
+    s.estimator.series.push_back(EstimatorSeries{
+        *core::estimator_kind_from_string(
+            kinds[rng.next_byte() % kinds.size()]),
+        rnd_int(rng, 0, 60)});
+  s.estimator.k_antennas = rnd_int(rng, 1, 4);
+  s.estimator.fraction_delta = rnd_prob(rng);
+  s.estimator.safety = rnd_prob(rng);
+
+  // Sweep / output / mac.
+  const std::size_t n_p = rng.next_byte() % 6;
+  for (std::size_t i = 0; i < n_p; ++i)
+    s.sweep.p_values.push_back(rnd_prob(rng));
+  s.sweep.repeats = rnd_int(rng, 1, 30);
+  const Baseline baselines[] = {Baseline::kGroup, Baseline::kUnicast,
+                                Baseline::kBoth};
+  s.output.baseline = baselines[rng.next_byte() % 3];
+  s.output.metrics = rnd_bool(rng) ? MetricSet::kSession
+                                   : MetricSet::kEfficiency;
+  s.output.analytic = rnd_bool(rng);
+  s.mac.data_rate_bps = static_cast<double>(rnd_int(rng, 1, 100)) * 1e5;
+  s.mac.per_frame_overhead_s =
+      static_cast<double>(rnd_int(rng, 0, 64)) / 1048576.0;
+  s.mac.inter_frame_gap_s =
+      static_cast<double>(rnd_int(rng, 0, 64)) / 1048576.0;
+  s.mac.slot_duration_s = static_cast<double>(rnd_int(rng, 1, 64)) / 1024.0;
+  return s;
+}
+
+// Replay every serialized "key = value" line of `text` onto `spec` as a
+// dotted-path override, tracking the section context exactly as a user's
+// --set would name it.
+void apply_all_serialized_overrides(ScenarioSpec& spec,
+                                    const std::string& text) {
+  std::string section;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      section = line.substr(1, line.size() - 2);
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    ASSERT_NE(eq, std::string::npos) << line;
+    std::string key = line.substr(0, eq);
+    while (!key.empty() && key.back() == ' ') key.pop_back();
+    const std::string value = line.substr(eq + 1);
+    const std::string path = section.empty() ? key : section + "." + key;
+    ASSERT_NO_THROW(apply_override(spec, path, value))
+        << path << " = " << value;
+  }
+}
+
+TEST(SpecFuzz, FiveHundredRandomSpecsRoundTrip) {
+  for (std::uint64_t seed = 1; seed <= 500; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const ScenarioSpec spec = random_spec(seed);
+    const std::string text = serialize_spec(spec);
+
+    // parse(describe(S)) == S ...
+    ScenarioSpec parsed;
+    ASSERT_NO_THROW(parsed = parse_spec(text));
+    ASSERT_EQ(parsed, spec);
+
+    // ... describe is a fixed point ...
+    ASSERT_EQ(serialize_spec(parsed), text);
+
+    // ... and --set of every serialized value is idempotent.
+    apply_all_serialized_overrides(parsed, text);
+    ASSERT_EQ(parsed, spec);
+  }
+}
+
+// Overrides on a random spec change exactly the named field and applying
+// the OLD serialized value restores bit-equality (the --set round trip
+// the CLI's describe -> edit -> run loop depends on).
+TEST(SpecFuzz, OverrideThenRestoreIsIdentity) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const ScenarioSpec spec = random_spec(seed);
+    ScenarioSpec mutated = spec;
+    apply_override(mutated, "session.x_packets", "13");
+    apply_override(mutated, "channel.p", "0.125");
+    EXPECT_NE(mutated, spec);
+    apply_override(mutated, "session.x_packets",
+                   std::to_string(spec.session.x_packets));
+    apply_override(mutated, "channel.p",
+                   format_double(spec.channel.iid_p));
+    EXPECT_EQ(mutated, spec);
+  }
+}
+
+}  // namespace
+}  // namespace thinair::runtime

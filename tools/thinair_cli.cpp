@@ -56,8 +56,13 @@ int usage(const char* argv0) {
 }
 
 int cmd_kernels() {
+  // One row per registered kernel; every kernel implements the full
+  // vtable (axpy/mul_row/xor_into + the fused mad_multi scatter and
+  // dot_multi gather), so the second column documents the fusion both
+  // directions dispatch to.
   for (const gf::Kernel* k : gf::all_kernels())
-    std::printf("%s%s\n", k->name,
+    std::printf("%-9s fused: mad_multi+dot_multi (x%zu)%s\n", k->name,
+                gf::kMaxFusedRows,
                 k == &gf::active_kernel() ? "  (active)" : "");
   return 0;
 }
