@@ -1,0 +1,264 @@
+// micro_daemon — thinaird under session load.
+//
+// Starts one daemon (real UDP on loopback) and drives N concurrent
+// two-party key-agreement sessions against it from a multiplexed client
+// pool: one non-blocking socket per terminal, all serviced by a single
+// epoll loop, every session in flight at once. Writes BENCH_daemon.json
+// (path overridable with the BENCH_DAEMON_JSON env var):
+//
+//   sessions, completed, p50/p99 time-to-key, sessions/sec, epoll
+//
+// and exits nonzero unless every session completed with matching keys —
+// so the CI smoke run doubles as a correctness check. Defaults to 1000
+// concurrent sessions (the load target); --sessions overrides.
+//
+//   usage: micro_daemon [--sessions K] [--packets N] [--deadline SEC]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "netd/daemon.h"
+#include "netd/node_session.h"
+#include "netd/poller.h"
+#include "netd/udp.h"
+
+namespace {
+
+using namespace thinair;
+
+double monotonic_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Options {
+  std::size_t sessions = 1000;
+  std::size_t packets = 12;  // N per round; small keeps the focus on the
+                             // daemon's relay path, not GF(2^8) math
+  double deadline_s = 120.0;
+};
+
+// One terminal: its socket, its protocol state machine, its timing.
+struct ClientSlot {
+  netd::UdpSocket socket;
+  std::unique_ptr<netd::NodeSession> session;
+  std::size_t session_index = 0;
+  bool counted_done = false;
+};
+
+struct SessionTiming {
+  double start_s = 0.0;
+  double done_s = -1.0;
+  std::size_t nodes_done = 0;
+};
+
+int run_bench(const Options& opt) {
+  netd::DaemonConfig dconfig;
+  dconfig.hub.seed = 2026;
+  dconfig.hub.idle_timeout_s = opt.deadline_s;  // no expiry under load
+  netd::Daemon daemon(dconfig);
+  std::thread daemon_thread([&daemon] { daemon.run(); });
+  const sockaddr_in daemon_addr = netd::make_addr("127.0.0.1", daemon.port());
+
+  // Build the client pool: two terminals per session, one socket each,
+  // all registered with one poller.
+  const std::size_t n_clients = opt.sessions * 2;
+  std::vector<ClientSlot> clients;
+  clients.reserve(n_clients);
+  std::vector<SessionTiming> timings(opt.sessions);
+  netd::Poller poller;
+  std::vector<std::size_t> by_fd;  // fd -> client index
+  for (std::size_t s = 0; s < opt.sessions; ++s) {
+    for (std::uint16_t node = 0; node < 2; ++node) {
+      netd::NodeConfig nc;
+      nc.session_id = 1 + s;
+      nc.node = node;
+      nc.members = 2;
+      nc.x_packets_per_round = opt.packets;
+      nc.payload_bytes = 16;
+      nc.rounds = 1;
+      nc.payload_seed = 0x1000 + s * 2 + node;
+      // Under thousands of in-flight sessions one relay can take a while;
+      // keep retransmits patient so the daemon is load-tested, not DoSed.
+      nc.rto_s = 0.25;
+      nc.probe_s = 1.0;
+      nc.max_retries = static_cast<std::size_t>(opt.deadline_s / nc.rto_s);
+      ClientSlot slot;
+      slot.socket = netd::UdpSocket::bind("127.0.0.1", 0);
+      slot.session = std::make_unique<netd::NodeSession>(nc);
+      slot.session_index = s;
+      const int fd = slot.socket.fd();
+      poller.add(fd);
+      if (static_cast<std::size_t>(fd) >= by_fd.size())
+        by_fd.resize(fd + 1, SIZE_MAX);
+      by_fd[fd] = clients.size();
+      clients.push_back(std::move(slot));
+    }
+  }
+
+  const double t0 = monotonic_s();
+  for (std::size_t s = 0; s < opt.sessions; ++s) timings[s].start_s = t0;
+
+  std::vector<std::uint8_t> dgram;
+  const auto flush = [&](ClientSlot& c) {
+    while (c.session->poll_datagram(dgram))
+      (void)c.socket.send_to(daemon_addr, dgram);
+  };
+  for (ClientSlot& c : clients) {
+    c.session->start(t0);
+    flush(c);
+  }
+
+  std::size_t done_clients = 0;
+  std::size_t failed = 0;
+  const auto note_progress = [&](ClientSlot& c, double now) {
+    if (c.counted_done || !(c.session->done() || c.session->failed())) return;
+    c.counted_done = true;
+    ++done_clients;
+    if (c.session->failed()) {
+      ++failed;
+      std::fprintf(stderr, "session %zu node failed: %s\n", c.session_index,
+                   c.session->error().c_str());
+      return;
+    }
+    SessionTiming& t = timings[c.session_index];
+    if (++t.nodes_done == 2) t.done_s = now;
+  };
+
+  std::vector<int> ready;
+  sockaddr_in from{};
+  double last_tick = t0;
+  while (done_clients < n_clients) {
+    double now = monotonic_s();
+    if (now - t0 > opt.deadline_s) break;
+    ready.clear();
+    poller.wait(20, ready);
+    now = monotonic_s();
+    for (const int fd : ready) {
+      ClientSlot& c = clients[by_fd[static_cast<std::size_t>(fd)]];
+      while (c.socket.recv_from(dgram, from))
+        c.session->on_datagram(dgram, now);
+      flush(c);
+      note_progress(c, now);
+    }
+    if (now - last_tick >= 0.05) {
+      last_tick = now;
+      for (ClientSlot& c : clients) {
+        if (c.counted_done) continue;
+        c.session->on_tick(now);
+        flush(c);
+        note_progress(c, now);
+      }
+    }
+  }
+  const double wall_s = monotonic_s() - t0;
+
+  daemon.stop();
+  daemon_thread.join();
+
+  // Completed = both nodes done AND keys byte-identical. A zero-length
+  // key is a legitimate outcome (the estimator judged the round to carry
+  // no extractable secrecy), so count agreement, and report how many
+  // sessions actually extracted bits.
+  std::size_t completed = 0;
+  std::size_t with_secret = 0;
+  std::vector<double> ttk_ms;
+  for (std::size_t s = 0; s < opt.sessions; ++s) {
+    const SessionTiming& t = timings[s];
+    if (t.done_s < 0.0) continue;
+    const auto& a = *clients[s * 2].session;
+    const auto& b = *clients[s * 2 + 1].session;
+    if (a.secret() != b.secret()) {
+      std::fprintf(stderr, "session %zu: key mismatch\n", s);
+      ++failed;
+      continue;
+    }
+    ++completed;
+    if (!a.secret().empty()) ++with_secret;
+    ttk_ms.push_back((t.done_s - t.start_s) * 1e3);
+  }
+  std::sort(ttk_ms.begin(), ttk_ms.end());
+  const auto pct = [&](double p) {
+    if (ttk_ms.empty()) return 0.0;
+    const std::size_t i = static_cast<std::size_t>(
+        p * static_cast<double>(ttk_ms.size() - 1) + 0.5);
+    return ttk_ms[i];
+  };
+  const double p50 = pct(0.50), p99 = pct(0.99);
+  const double rate = wall_s > 0.0 ? completed / wall_s : 0.0;
+  const netd::HubStats& hs = daemon.hub().stats();
+
+  const char* path = std::getenv("BENCH_DAEMON_JSON");
+  if (path == nullptr) path = "BENCH_daemon.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"micro_daemon\",\n"
+               "  \"sessions\": %zu,\n"
+               "  \"completed\": %zu,\n"
+               "  \"with_nonzero_secret\": %zu,\n"
+               "  \"x_packets_per_round\": %zu,\n"
+               "  \"p50_time_to_key_ms\": %.2f,\n"
+               "  \"p99_time_to_key_ms\": %.2f,\n"
+               "  \"sessions_per_s\": %.1f,\n"
+               "  \"wall_s\": %.2f,\n"
+               "  \"datagrams_in\": %llu,\n"
+               "  \"frames_relayed\": %llu,\n"
+               "  \"epoll\": %s\n"
+               "}\n",
+               opt.sessions, completed, with_secret, opt.packets, p50, p99,
+               rate, wall_s,
+               static_cast<unsigned long long>(hs.datagrams_in.load()),
+               static_cast<unsigned long long>(hs.frames_relayed.load()),
+               daemon.using_epoll() ? "true" : "false");
+  std::fclose(f);
+
+  std::fprintf(stderr,
+               "micro_daemon: %zu/%zu sessions, p50 %.1f ms, p99 %.1f ms, "
+               "%.0f sessions/s, %.2fs wall (%s)\n",
+               completed, opt.sessions, p50, p99, rate, wall_s,
+               daemon.using_epoll() ? "epoll" : "poll");
+  if (completed != opt.sessions || failed != 0) {
+    std::fprintf(stderr, "micro_daemon: FAILED (%zu incomplete, %zu failed)\n",
+                 opt.sessions - completed, failed);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    ++i;
+    if (flag == "--sessions" && value != nullptr) {
+      opt.sessions = static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else if (flag == "--packets" && value != nullptr) {
+      opt.packets = static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+    } else if (flag == "--deadline" && value != nullptr) {
+      opt.deadline_s = std::strtod(value, nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: micro_daemon [--sessions K] [--packets N] "
+                   "[--deadline SEC]\n");
+      return 2;
+    }
+  }
+  if (opt.sessions == 0 || opt.packets == 0) return 2;
+  return run_bench(opt);
+}

@@ -54,7 +54,7 @@ BENCHMARK(BM_Phase2Plan);
 void BM_FullRoundIid(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   channel::IidErasure ch(0.5);
-  net::Medium medium(ch, channel::Rng(13));
+  net::SimMedium medium(ch, channel::Rng(13));
   for (std::size_t i = 0; i < n; ++i)
     medium.attach(packet::NodeId{static_cast<std::uint16_t>(i)},
                   net::Role::kTerminal);

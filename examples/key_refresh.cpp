@@ -34,7 +34,7 @@ int main() {
   using namespace thinair;
 
   channel::IidErasure channel(0.5);
-  net::Medium medium(channel, channel::Rng(7));
+  net::SimMedium medium(channel, channel::Rng(7));
   for (std::uint16_t id = 0; id < 4; ++id)
     medium.attach(packet::NodeId{id}, net::Role::kTerminal);
   medium.attach(packet::NodeId{4}, net::Role::kEavesdropper);

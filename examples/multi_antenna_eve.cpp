@@ -33,7 +33,7 @@ Outcome run(std::size_t eve_antennas, std::size_t defend_k,
 
   channel::TestbedChannel ch = testbed::build_channel(placement);
   const std::size_t antenna_cells[] = {5, 7, 8};
-  net::Medium medium(ch, channel::Rng(seed));
+  net::SimMedium medium(ch, channel::Rng(seed));
   for (std::size_t i = 0; i < n; ++i)
     medium.attach(testbed::terminal_node(i), net::Role::kTerminal);
   for (std::size_t a = 0; a < eve_antennas; ++a) {

@@ -23,7 +23,7 @@ int main() {
 
   // 2. The shared medium: three terminals (Alice, Bob, Calvin in the
   //    paper's naming) and one passive eavesdropper.
-  net::Medium medium(channel, channel::Rng(/*seed=*/2012));
+  net::SimMedium medium(channel, channel::Rng(/*seed=*/2012));
   for (std::uint16_t id = 0; id < 3; ++id)
     medium.attach(packet::NodeId{id}, net::Role::kTerminal);
   medium.attach(packet::NodeId{3}, net::Role::kEavesdropper);

@@ -53,12 +53,17 @@ std::vector<packet::ConstByteSpan> apply_rows(
 }  // namespace
 
 Phase2Plan plan_phase2(const YPool& pool) {
+  return plan_phase2(pool.size(), pool.group_secret_size());
+}
+
+Phase2Plan plan_phase2(std::size_t pool_size, std::size_t group_size) {
   Phase2Plan plan;
-  plan.pool_size = pool.size();
-  plan.group_size = pool.group_secret_size();
+  plan.pool_size = pool_size;
+  plan.group_size = group_size;
 
   const std::size_t m = plan.pool_size;
   const std::size_t l = plan.group_size;
+  if (l > m) throw std::invalid_argument("plan_phase2: L > M");
   if (m == 0 || l == 0) {
     // No shared secret possible this round (the paper's worst case).
     plan.group_size = 0;

@@ -42,6 +42,13 @@ struct Phase2Plan {
 /// Derive the phase-2 coding plan from the pool. Pure function.
 [[nodiscard]] Phase2Plan plan_phase2(const YPool& pool);
 
+/// The same plan from (M, L) alone. The construction depends only on the
+/// pool's size and its group-secret size, which is what lets a remote
+/// terminal rebuild Alice's exact plan from public information: M is the
+/// length of the y-announcement and L the length of the s-announcement.
+[[nodiscard]] Phase2Plan plan_phase2(std::size_t pool_size,
+                                     std::size_t group_size);
+
 /// Alice's side of step 1: evaluate the z-packet contents.
 [[nodiscard]] std::vector<packet::Payload> make_z_payloads(
     const Phase2Plan& plan, std::span<const packet::Payload> y_contents,

@@ -5,9 +5,8 @@
 
 namespace thinair::net {
 
-Medium::Medium(const channel::ErasureModel& model, channel::Rng rng,
-               MacParams params)
-    : model_(model), rng_(rng), params_(params) {
+Medium::Medium(channel::Rng rng, MacParams params)
+    : rng_(rng), params_(params) {
   if (!(params_.data_rate_bps > 0.0))
     throw std::invalid_argument("Medium: data rate must be positive");
   if (!(params_.slot_duration_s > 0.0))
@@ -55,22 +54,9 @@ void Medium::wait_for_next_slot() {
   now_s_ = next;
 }
 
-Medium::TxResult Medium::transmit(packet::NodeId source,
-                                  const packet::Packet& pkt,
-                                  TrafficClass cls) {
-  if (!nodes_.contains(source))
-    throw std::invalid_argument("Medium::transmit: unknown source");
-
-  const std::size_t tx_slot = slot();
-  TxResult result;
-  result.airtime_s = frame_airtime_s(pkt.wire_size());
-
-  for (packet::NodeId rx : order_) {
-    if (rx == source) continue;
-    const channel::LinkContext link{source, rx, tx_slot};
-    if (!model_.erased(rng_, link)) result.delivered.insert(rx);
-  }
-
+void Medium::account_transmit(packet::NodeId source, const packet::Packet& pkt,
+                              TrafficClass cls, const TxResult& result,
+                              std::size_t tx_slot) {
   ledger_.add(cls, pkt.wire_size(), result.airtime_s);
   trace_.record(TraceEntry{
       .time_s = now_s_,
@@ -85,8 +71,30 @@ Medium::TxResult Medium::transmit(packet::NodeId source,
       .reliable = false,
       .attempt = 0,
   });
-
   now_s_ += result.airtime_s + params_.inter_frame_gap_s;
+}
+
+SimMedium::SimMedium(const channel::ErasureModel& model, channel::Rng rng,
+                     MacParams params)
+    : Medium(rng, params), model_(model) {}
+
+Medium::TxResult SimMedium::transmit(packet::NodeId source,
+                                     const packet::Packet& pkt,
+                                     TrafficClass cls) {
+  if (!is_attached(source))
+    throw std::invalid_argument("Medium::transmit: unknown source");
+
+  const std::size_t tx_slot = slot();
+  TxResult result;
+  result.airtime_s = frame_airtime_s(pkt.wire_size());
+
+  for (packet::NodeId rx : attach_order()) {
+    if (rx == source) continue;
+    const channel::LinkContext link{source, rx, tx_slot};
+    if (!model_.erased(rng(), link)) result.delivered.insert(rx);
+  }
+
+  account_transmit(source, pkt, cls, result, tx_slot);
   return result;
 }
 

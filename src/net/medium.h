@@ -1,17 +1,24 @@
 #pragma once
-// The broadcast medium: the simulator's stand-in for the paper's 802.11g
-// ad-hoc network (Sec. 2 and 4).
+// The broadcast-medium seam: the paper's 802.11g ad-hoc network (Sec. 2
+// and 4) as an abstract interface plus the in-process simulation.
 //
-// A single shared channel: when a node transmits, every other attached node
-// independently either receives the frame or loses it according to the
-// ErasureModel. The medium keeps a virtual clock (frames occupy airtime at
-// the configured rate, 1 Mbps with 100-byte packets in the paper), derives
-// the interference-schedule slot from the clock, appends every frame to the
-// reception trace, and charges every byte to the ledger.
+// `Medium` is the transport seam the protocol code is written against: a
+// single shared channel where a node transmits a frame once and every
+// other attached node either receives it or loses it. The base class owns
+// everything transport-independent — the node registry, the virtual clock
+// (frames occupy airtime at the configured rate, 1 Mbps with 100-byte
+// packets in the paper), the byte ledger and the reception trace — and
+// leaves one question to the implementation: who received this frame?
 //
-// The medium is sequential and deterministic given the Rng — terminals take
-// turns transmitting under the protocol, so no collision model is needed
-// (the paper's terminals likewise defer to the 802.11 MAC).
+//   - SimMedium (below) answers it by drawing from an ErasureModel — the
+//     in-process simulator every scenario and test runs on.
+//   - netd::SocketMedium (src/netd/socket_medium.h) answers it by asking a
+//     live `thinaird` daemon over UDP, so the same unmodified session code
+//     runs against a real network face.
+//
+// The medium is sequential and deterministic given the Rng — terminals
+// take turns transmitting under the protocol, so no collision model is
+// needed (the paper's terminals likewise defer to the 802.11 MAC).
 
 #include <unordered_map>
 #include <vector>
@@ -44,19 +51,22 @@ class Medium {
     double airtime_s = 0.0;
   };
 
-  /// The erasure model must outlive the medium.
-  Medium(const channel::ErasureModel& model, channel::Rng rng,
-         MacParams params = {});
+  virtual ~Medium() = default;
 
-  void attach(packet::NodeId node, Role role);
+  Medium(const Medium&) = delete;
+  Medium& operator=(const Medium&) = delete;
+
+  virtual void attach(packet::NodeId node, Role role);
   [[nodiscard]] std::vector<packet::NodeId> terminals() const;
   [[nodiscard]] std::vector<packet::NodeId> eavesdroppers() const;
   [[nodiscard]] bool is_attached(packet::NodeId node) const;
 
   /// Broadcast a frame once (the paper's "transmits"). Every other attached
-  /// node draws independently from the erasure model.
-  TxResult transmit(packet::NodeId source, const packet::Packet& pkt,
-                    TrafficClass cls);
+  /// node independently either receives it or loses it; how that is decided
+  /// is the implementation's contract (erasure draws for SimMedium, the
+  /// daemon's seeded relay for SocketMedium).
+  virtual TxResult transmit(packet::NodeId source, const packet::Packet& pkt,
+                            TrafficClass cls) = 0;
 
   /// Current virtual time and interference slot.
   [[nodiscard]] double now() const { return now_s_; }
@@ -82,8 +92,20 @@ class Medium {
   /// not burn airtime into the same noise pattern that just erased them.
   void wait_for_next_slot();
 
+ protected:
+  Medium(channel::Rng rng, MacParams params);
+
+  /// Shared post-transmit bookkeeping: charge the ledger, append the trace
+  /// entry and advance the virtual clock past the frame + inter-frame gap.
+  void account_transmit(packet::NodeId source, const packet::Packet& pkt,
+                        TrafficClass cls, const TxResult& result,
+                        std::size_t tx_slot);
+
+  [[nodiscard]] const std::vector<packet::NodeId>& attach_order() const {
+    return order_;
+  }
+
  private:
-  const channel::ErasureModel& model_;
   channel::Rng rng_;
   MacParams params_;
   std::unordered_map<packet::NodeId, Role> nodes_;
@@ -91,6 +113,23 @@ class Medium {
   double now_s_ = 0.0;
   Ledger ledger_;
   Trace trace_;
+};
+
+/// The in-process simulation: one Bernoulli draw per attached node per
+/// frame from the ErasureModel, interleaved with payload generation on the
+/// medium's single Rng stream (the determinism contract every golden
+/// suite pins).
+class SimMedium final : public Medium {
+ public:
+  /// The erasure model must outlive the medium.
+  SimMedium(const channel::ErasureModel& model, channel::Rng rng,
+            MacParams params = {});
+
+  TxResult transmit(packet::NodeId source, const packet::Packet& pkt,
+                    TrafficClass cls) override;
+
+ private:
+  const channel::ErasureModel& model_;
 };
 
 }  // namespace thinair::net

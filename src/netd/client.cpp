@@ -1,0 +1,54 @@
+#include "netd/client.h"
+
+#include <chrono>
+
+#include "netd/udp.h"
+
+namespace thinair::netd {
+
+namespace {
+
+double monotonic_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ClientResult run_client(const ClientConfig& config) {
+  ClientResult result;
+  UdpSocket socket = UdpSocket::bind("127.0.0.1", 0);
+  const sockaddr_in daemon = make_addr(config.host, config.port);
+
+  NodeSession session(config.node);
+  const double start = monotonic_s();
+  session.start(start);
+
+  std::vector<std::uint8_t> dgram;
+  sockaddr_in from{};
+  while (!session.done() && !session.failed()) {
+    const double now = monotonic_s();
+    if (now - start > config.deadline_s) {
+      result.error = "client deadline exceeded";
+      return result;
+    }
+    while (session.poll_datagram(dgram)) (void)socket.send_to(daemon, dgram);
+    if (socket.wait_readable(10)) {
+      while (socket.recv_from(dgram, from))
+        session.on_datagram(dgram, monotonic_s());
+    }
+    session.on_tick(monotonic_s());
+  }
+
+  if (session.failed()) {
+    result.error = session.error();
+    return result;
+  }
+  result.ok = true;
+  result.secret = session.secret();
+  result.rounds = session.rounds_completed();
+  return result;
+}
+
+}  // namespace thinair::netd

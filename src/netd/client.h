@@ -1,0 +1,33 @@
+#pragma once
+// Blocking client runner: drives one NodeSession over a real UDP socket
+// until the key agreement completes (or fails / times out). This is what
+// `thinair client` runs — one process, one terminal, one socket.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netd/node_session.h"
+
+namespace thinair::netd {
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  NodeConfig node;
+  double deadline_s = 30.0;  // overall wall-clock budget
+};
+
+struct ClientResult {
+  bool ok = false;
+  std::string error;
+  std::vector<std::uint8_t> secret;
+  std::size_t rounds = 0;
+};
+
+/// Run the session to completion. Never throws on protocol failures
+/// (reported in the result); throws std::system_error on socket setup
+/// failures.
+[[nodiscard]] ClientResult run_client(const ClientConfig& config);
+
+}  // namespace thinair::netd

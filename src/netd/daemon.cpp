@@ -1,0 +1,78 @@
+#include "netd/daemon.h"
+
+#include <chrono>
+
+namespace thinair::netd {
+
+namespace {
+
+double monotonic_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonConfig config)
+    : config_(std::move(config)),
+      socket_(UdpSocket::bind(config_.host, config_.port)),
+      hub_(config_.hub) {
+  poller_.add(socket_.fd());
+}
+
+void Daemon::flush(std::vector<Outgoing>& out) {
+  for (const Outgoing& o : out) {
+    const auto it = peers_.find(PeerKey{o.session, o.node});
+    if (it == peers_.end()) continue;  // member never spoke: nowhere to send
+    (void)socket_.send_to(it->second, o.datagram);
+  }
+  out.clear();
+}
+
+void Daemon::run(const std::function<void()>& on_ready) {
+  if (on_ready) on_ready();
+
+  std::vector<int> ready;
+  std::vector<std::uint8_t> buf;
+  std::vector<Outgoing> out;
+  sockaddr_in from{};
+  double last_tick = monotonic_s();
+  double last_prune = last_tick;
+
+  while (!stop_.load(std::memory_order_relaxed)) {
+    ready.clear();
+    // Short timeout so stop() and the expiry wheel are serviced promptly
+    // even on a silent socket.
+    poller_.wait(50, ready);
+
+    const double now = monotonic_s();
+    if (!ready.empty()) {
+      // Drain until EAGAIN (level-triggered wake, non-blocking socket).
+      while (socket_.recv_from(buf, from)) {
+        // Learn/refresh the sender's address before the hub replies to it.
+        const DecodeResult peek = decode(buf);
+        if (peek.frame.has_value())
+          peers_[PeerKey{peek.frame->header.session,
+                         peek.frame->header.node}] = from;
+        hub_.on_datagram(buf, now, out);
+        flush(out);
+      }
+    }
+    if (now - last_tick >= 0.1) {
+      hub_.on_tick(now, out);
+      flush(out);
+      last_tick = now;
+    }
+    if (now - last_prune >= 5.0) {
+      // Drop peer-book entries whose session the hub has since closed.
+      for (auto it = peers_.begin(); it != peers_.end();)
+        it = hub_.session_ledger(it->first.session) == nullptr
+                 ? peers_.erase(it)
+                 : std::next(it);
+      last_prune = now;
+    }
+  }
+}
+
+}  // namespace thinair::netd

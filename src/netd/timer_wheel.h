@@ -1,0 +1,87 @@
+#pragma once
+// A hashed timer wheel for session idle expiry.
+//
+// The hub schedules one deadline per session; sessions are touched on
+// every frame, far more often than they expire, so the wheel uses *lazy
+// reinsertion*: touching a session only updates its bookkeeping, and when
+// the stale wheel entry comes due the owner decides whether the deadline
+// really passed (and reschedules otherwise). That keeps the hot path —
+// one frame in, one deadline pushed back — allocation- and scan-free.
+//
+// Entries hash into `slots` buckets of width `tick_s`; advance() walks the
+// buckets the clock has crossed since the last call and emits every entry
+// whose recorded deadline is due. Deadlines farther than one lap away stay
+// in their bucket across laps (each entry carries its absolute deadline,
+// so a lapped entry is simply re-examined and kept until its time comes).
+
+#include <cstdint>
+#include <vector>
+
+namespace thinair::netd {
+
+class TimerWheel {
+ public:
+  struct Entry {
+    std::uint64_t id = 0;
+    double deadline_s = 0.0;
+  };
+
+  TimerWheel(double tick_s, std::size_t slots)
+      : tick_s_(tick_s), buckets_(slots == 0 ? 1 : slots) {}
+
+  /// Register `id` to fire at `deadline_s`. Duplicate registrations are
+  /// fine — the owner disambiguates when the entry fires.
+  void schedule(std::uint64_t id, double deadline_s) {
+    buckets_[bucket_of(deadline_s)].push_back({id, deadline_s});
+    ++size_;
+  }
+
+  /// Collect every entry whose deadline is <= now_s. Entries remain in
+  /// insertion order within a bucket; cross-bucket order follows the wheel.
+  [[nodiscard]] std::vector<Entry> advance(double now_s) {
+    std::vector<Entry> due;
+    if (size_ == 0) {
+      cursor_ = tick_index(now_s);
+      return due;
+    }
+    const std::int64_t target = tick_index(now_s);
+    // Walk at most one full lap; older ticks map onto the same buckets.
+    const std::int64_t begin = cursor_;
+    const std::int64_t end =
+        (target - begin >= static_cast<std::int64_t>(buckets_.size()))
+            ? begin + static_cast<std::int64_t>(buckets_.size())
+            : target + 1;
+    for (std::int64_t t = begin; t < end; ++t) {
+      auto& bucket = buckets_[static_cast<std::size_t>(t) % buckets_.size()];
+      for (std::size_t i = 0; i < bucket.size();) {
+        if (bucket[i].deadline_s <= now_s) {
+          due.push_back(bucket[i]);
+          bucket[i] = bucket.back();
+          bucket.pop_back();
+          --size_;
+        } else {
+          ++i;
+        }
+      }
+    }
+    cursor_ = target;
+    return due;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  [[nodiscard]] std::int64_t tick_index(double t_s) const {
+    return static_cast<std::int64_t>(t_s / tick_s_);
+  }
+  [[nodiscard]] std::size_t bucket_of(double t_s) const {
+    return static_cast<std::size_t>(tick_index(t_s)) % buckets_.size();
+  }
+
+  double tick_s_;
+  std::vector<std::vector<Entry>> buckets_;
+  std::int64_t cursor_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace thinair::netd

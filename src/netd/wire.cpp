@@ -1,0 +1,112 @@
+#include "netd/wire.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace thinair::netd {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+std::string_view to_string(DecodeError e) {
+  switch (e) {
+    case DecodeError::kNone: return "none";
+    case DecodeError::kTooShort: return "too-short";
+    case DecodeError::kBadMagic: return "bad-magic";
+    case DecodeError::kBadVersion: return "bad-version";
+    case DecodeError::kBadType: return "bad-type";
+    case DecodeError::kLengthMismatch: return "length-mismatch";
+    case DecodeError::kOversized: return "oversized";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode(const Frame& frame) {
+  if (frame.payload.size() > kMaxPayload)
+    throw std::invalid_argument("netd::encode: payload exceeds kMaxPayload");
+
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize + frame.payload.size());
+  const FrameHeader& h = frame.header;
+  put_u16(out, h.magic);
+  out.push_back(h.version);
+  out.push_back(h.type);
+  out.push_back(h.flags);
+  out.push_back(h.phase);
+  put_u16(out, h.node);
+  put_u64(out, h.session);
+  put_u32(out, h.round);
+  put_u32(out, h.seq);
+  put_u32(out, h.aux);
+  put_u16(out, static_cast<std::uint16_t>(frame.payload.size()));
+  put_u16(out, h.reserved);
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  return out;
+}
+
+DecodeResult decode(std::span<const std::uint8_t> datagram) {
+  if (datagram.size() < kHeaderSize)
+    return {std::nullopt, DecodeError::kTooShort};
+
+  const std::uint8_t* p = datagram.data();
+  FrameHeader h;
+  h.magic = get_u16(p);
+  if (h.magic != kMagic) return {std::nullopt, DecodeError::kBadMagic};
+  h.version = p[2];
+  if (h.version != kVersion) return {std::nullopt, DecodeError::kBadVersion};
+  h.type = p[3];
+  if (h.type > kMaxFrameType) return {std::nullopt, DecodeError::kBadType};
+  h.flags = p[4];
+  h.phase = p[5];
+  h.node = get_u16(p + 6);
+  h.session = get_u64(p + 8);
+  h.round = get_u32(p + 16);
+  h.seq = get_u32(p + 20);
+  h.aux = get_u32(p + 24);
+  h.payload_len = get_u16(p + 28);
+  h.reserved = get_u16(p + 30);
+
+  if (h.payload_len > kMaxPayload)
+    return {std::nullopt, DecodeError::kOversized};
+  if (static_cast<std::size_t>(h.payload_len) != datagram.size() - kHeaderSize)
+    return {std::nullopt, DecodeError::kLengthMismatch};
+
+  Frame frame;
+  frame.header = h;
+  frame.payload.assign(datagram.begin() + kHeaderSize, datagram.end());
+  return {std::move(frame), DecodeError::kNone};
+}
+
+}  // namespace thinair::netd

@@ -361,7 +361,7 @@ core::SessionResult run_flat_session(const Compiled& c,
   const std::unique_ptr<channel::ErasureModel> model =
       channel::make_erasure_model(spec.channel.model, p, spec.channel.default_p,
                                   spec.channel.links);
-  net::Medium medium(*model, channel::Rng(seed), spec.mac);
+  net::SimMedium medium(*model, channel::Rng(seed), spec.mac);
   for (std::size_t i = 0; i < n; ++i)
     medium.attach(packet::NodeId{static_cast<std::uint16_t>(i)},
                   net::Role::kTerminal);

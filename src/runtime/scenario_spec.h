@@ -154,6 +154,20 @@ struct OutputSpec {
   friend bool operator==(const OutputSpec&, const OutputSpec&) = default;
 };
 
+/// Execution pinning, so a spec file alone fully determines a run: when
+/// set, these supply the master seed and thread count `thinair run` uses
+/// unless the corresponding CLI flag is given explicitly (flags win —
+/// they are the more deliberate act). Unset keys keep today's behaviour
+/// (CLI defaults). Threads do not affect output bytes (the engine's
+/// determinism contract); pinning them is about reproducing *timing*
+/// conditions, pinning the seed about reproducing the data.
+struct RunSpec {
+  std::optional<std::uint64_t> seed;
+  std::optional<std::size_t> threads;  // 0 = hardware concurrency
+
+  friend bool operator==(const RunSpec&, const RunSpec&) = default;
+};
+
 /// A whole scenario as data. Field-assign or chain the fluent setters;
 /// compile() validates everything at once.
 struct ScenarioSpec {
@@ -165,6 +179,7 @@ struct ScenarioSpec {
   EstimatorAxis estimator;
   SweepSpec sweep;
   OutputSpec output;
+  RunSpec run;
   net::MacParams mac;
 
   friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <vector>
 
+#include "runtime/engine.h"       // kMaxRunThreads
 #include "runtime/result_sink.h"  // format_double
 
 namespace thinair::runtime {
@@ -283,7 +284,8 @@ std::vector<channel::Vec2> parse_positions(const std::string& path,
 
 const std::vector<std::string>& section_names() {
   static const std::vector<std::string> names = {
-      "channel", "topology", "session", "estimator", "sweep", "output", "mac"};
+      "channel", "topology", "session", "estimator",
+      "sweep",   "output",   "run",     "mac"};
   return names;
 }
 
@@ -471,6 +473,26 @@ void set_field(ScenarioSpec& spec, const std::string& section,
     return;
   }
 
+  if (section == "run") {
+    RunSpec& run = spec.run;
+    if (key == "seed") {
+      // parse_integer targets std::size_t == uint64_t on every platform we
+      // build; range-check anyway so a 32-bit port fails loudly, not quietly.
+      static_assert(sizeof(std::size_t) == sizeof(std::uint64_t),
+                    "spec seeds assume 64-bit size_t");
+      run.seed = parse_integer(path, value);
+    } else if (key == "threads") {
+      const std::size_t n = parse_integer(path, value);
+      if (n > kMaxRunThreads)
+        fail(path, "at most " + std::to_string(kMaxRunThreads) +
+                       " threads (0 = auto)");
+      run.threads = n;
+    } else {
+      unknown_key();
+    }
+    return;
+  }
+
   if (section == "mac") {
     net::MacParams& mac = spec.mac;
     if (key == "data_rate_bps") {
@@ -630,6 +652,15 @@ std::string serialize_spec(const ScenarioSpec& spec) {
   out << "baseline = \"" << to_string(spec.output.baseline) << "\"\n";
   out << "metrics = \"" << to_string(spec.output.metrics) << "\"\n";
   out << "analytic = " << (spec.output.analytic ? "true" : "false") << "\n";
+
+  // [run] only when something is pinned: an absent key must serialize to
+  // an absent key for the parse(serialize(s)) == s round trip to hold.
+  if (spec.run.seed.has_value() || spec.run.threads.has_value()) {
+    out << "\n[run]\n";
+    if (spec.run.seed.has_value()) out << "seed = " << *spec.run.seed << "\n";
+    if (spec.run.threads.has_value())
+      out << "threads = " << *spec.run.threads << "\n";
+  }
 
   out << "\n[mac]\n";
   out << "data_rate_bps = " << num(spec.mac.data_rate_bps) << "\n";

@@ -52,7 +52,11 @@ class TaskPool {
   [[nodiscard]] static std::size_t hardware_threads();
 
  private:
-  struct Queue {
+  // One cache line per queue: workers hammer their own queue's mutex on
+  // every pop while siblings probe it to steal, so two queues sharing a
+  // line would turn independent pops into coherence traffic. (Queues are
+  // heap-allocated; alignas on the type carries through operator new.)
+  struct alignas(64) Queue {
     std::mutex mu;
     std::deque<std::function<void()>> tasks;
   };
@@ -63,7 +67,9 @@ class TaskPool {
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;                  // guards sleeping/waking + counters
+  // The coordination block starts on its own line so the cold, read-only
+  // vectors above it never bounce when workers sleep/wake.
+  alignas(64) std::mutex mu_;      // guards sleeping/waking + counters
   std::condition_variable wake_;   // workers sleep here when starved
   std::condition_variable idle_;   // wait_idle sleeps here
   std::size_t unfinished_ = 0;     // submitted but not yet completed

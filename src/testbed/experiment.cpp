@@ -24,7 +24,7 @@ ExperimentResult run_with(const ExperimentConfig& config) {
     ch.place(terminal_node(i), config.terminal_positions[i]);
   if (config.eve_position.has_value())
     ch.place(eve_node(n), *config.eve_position);
-  net::Medium medium(ch, channel::Rng(config.seed), config.mac);
+  net::SimMedium medium(ch, channel::Rng(config.seed), config.mac);
   for (std::size_t i = 0; i < n; ++i)
     medium.attach(terminal_node(i), net::Role::kTerminal);
   medium.attach(eve_node(n), net::Role::kEavesdropper);

@@ -58,7 +58,7 @@ TEST(Ledger, SinceComputesDelta) {
 
 TEST(Medium, PerfectChannelDeliversToAll) {
   channel::IidErasure ch(0.0);
-  Medium medium(ch, channel::Rng(1));
+  SimMedium medium(ch, channel::Rng(1));
   for (std::uint16_t i = 0; i < 4; ++i)
     medium.attach(packet::NodeId{i}, Role::kTerminal);
   const auto tx = medium.transmit(packet::NodeId{0}, data_packet(0, 100),
@@ -69,7 +69,7 @@ TEST(Medium, PerfectChannelDeliversToAll) {
 
 TEST(Medium, DeadChannelDeliversToNone) {
   channel::IidErasure ch(1.0);
-  Medium medium(ch, channel::Rng(2));
+  SimMedium medium(ch, channel::Rng(2));
   medium.attach(packet::NodeId{0}, Role::kTerminal);
   medium.attach(packet::NodeId{1}, Role::kTerminal);
   const auto tx = medium.transmit(packet::NodeId{0}, data_packet(0, 10),
@@ -80,7 +80,7 @@ TEST(Medium, DeadChannelDeliversToNone) {
 TEST(Medium, ClockAdvancesByAirtime) {
   channel::IidErasure ch(0.0);
   MacParams mac;
-  Medium medium(ch, channel::Rng(3), mac);
+  SimMedium medium(ch, channel::Rng(3), mac);
   medium.attach(packet::NodeId{0}, Role::kTerminal);
   medium.attach(packet::NodeId{1}, Role::kTerminal);
   const double before = medium.now();
@@ -97,7 +97,7 @@ TEST(Medium, SlotDerivedFromClock) {
   channel::IidErasure ch(0.0);
   MacParams mac;
   mac.slot_duration_s = 0.010;
-  Medium medium(ch, channel::Rng(4), mac);
+  SimMedium medium(ch, channel::Rng(4), mac);
   medium.attach(packet::NodeId{0}, Role::kTerminal);
   EXPECT_EQ(medium.slot(), 0u);
   medium.wait(0.025);
@@ -108,7 +108,7 @@ TEST(Medium, SlotDerivedFromClock) {
 
 TEST(Medium, LedgerChargesWireBytes) {
   channel::IidErasure ch(0.0);
-  Medium medium(ch, channel::Rng(5));
+  SimMedium medium(ch, channel::Rng(5));
   medium.attach(packet::NodeId{0}, Role::kTerminal);
   medium.attach(packet::NodeId{1}, Role::kTerminal);
   medium.transmit(packet::NodeId{0}, data_packet(0, 100), TrafficClass::kData);
@@ -118,7 +118,7 @@ TEST(Medium, LedgerChargesWireBytes) {
 
 TEST(Medium, TraceRecordsDeliveryAndSlot) {
   channel::IidErasure ch(0.0);
-  Medium medium(ch, channel::Rng(6));
+  SimMedium medium(ch, channel::Rng(6));
   medium.attach(packet::NodeId{0}, Role::kTerminal);
   medium.attach(packet::NodeId{1}, Role::kTerminal);
   medium.transmit(packet::NodeId{0}, data_packet(0, 42), TrafficClass::kData);
@@ -131,7 +131,7 @@ TEST(Medium, TraceRecordsDeliveryAndSlot) {
 
 TEST(Medium, RejectsUnknownSourceAndReattach) {
   channel::IidErasure ch(0.0);
-  Medium medium(ch, channel::Rng(7));
+  SimMedium medium(ch, channel::Rng(7));
   medium.attach(packet::NodeId{0}, Role::kTerminal);
   EXPECT_THROW(medium.attach(packet::NodeId{0}, Role::kTerminal),
                std::invalid_argument);
@@ -142,7 +142,7 @@ TEST(Medium, RejectsUnknownSourceAndReattach) {
 
 TEST(Medium, RolesSeparateTerminalsFromEavesdroppers) {
   channel::IidErasure ch(0.0);
-  Medium medium(ch, channel::Rng(8));
+  SimMedium medium(ch, channel::Rng(8));
   medium.attach(packet::NodeId{0}, Role::kTerminal);
   medium.attach(packet::NodeId{1}, Role::kEavesdropper);
   medium.attach(packet::NodeId{2}, Role::kTerminal);
@@ -153,7 +153,7 @@ TEST(Medium, RolesSeparateTerminalsFromEavesdroppers) {
 
 TEST(Reliable, BroadcastReachesAllTerminals) {
   channel::IidErasure ch(0.5);
-  Medium medium(ch, channel::Rng(9));
+  SimMedium medium(ch, channel::Rng(9));
   for (std::uint16_t i = 0; i < 5; ++i)
     medium.attach(packet::NodeId{i}, Role::kTerminal);
   const auto result = reliable_broadcast(medium, packet::NodeId{0},
@@ -166,7 +166,7 @@ TEST(Reliable, BroadcastReachesAllTerminals) {
 
 TEST(Reliable, TraceMarksAllAttemptsReliable) {
   channel::IidErasure ch(0.6);
-  Medium medium(ch, channel::Rng(10));
+  SimMedium medium(ch, channel::Rng(10));
   medium.attach(packet::NodeId{0}, Role::kTerminal);
   medium.attach(packet::NodeId{1}, Role::kTerminal);
   reliable_broadcast(medium, packet::NodeId{0}, data_packet(0, 20),
@@ -177,7 +177,7 @@ TEST(Reliable, TraceMarksAllAttemptsReliable) {
 
 TEST(Reliable, AcksAreCharged) {
   channel::IidErasure ch(0.0);
-  Medium medium(ch, channel::Rng(11));
+  SimMedium medium(ch, channel::Rng(11));
   medium.attach(packet::NodeId{0}, Role::kTerminal);
   medium.attach(packet::NodeId{1}, Role::kTerminal);
   medium.attach(packet::NodeId{2}, Role::kTerminal);
@@ -188,7 +188,7 @@ TEST(Reliable, AcksAreCharged) {
 
 TEST(Reliable, ExhaustionThrows) {
   channel::IidErasure ch(1.0);
-  Medium medium(ch, channel::Rng(12));
+  SimMedium medium(ch, channel::Rng(12));
   medium.attach(packet::NodeId{0}, Role::kTerminal);
   medium.attach(packet::NodeId{1}, Role::kTerminal);
   ReliableParams params;
@@ -201,7 +201,7 @@ TEST(Reliable, ExhaustionThrows) {
 
 TEST(Reliable, UnicastStopsAtDestination) {
   channel::IidErasure ch(0.3);
-  Medium medium(ch, channel::Rng(13));
+  SimMedium medium(ch, channel::Rng(13));
   for (std::uint16_t i = 0; i < 4; ++i)
     medium.attach(packet::NodeId{i}, Role::kTerminal);
   const auto result =
@@ -215,7 +215,7 @@ TEST(Reliable, UnicastStopsAtDestination) {
 
 TEST(Reliable, NoReceiversTerminatesImmediately) {
   channel::IidErasure ch(1.0);
-  Medium medium(ch, channel::Rng(14));
+  SimMedium medium(ch, channel::Rng(14));
   medium.attach(packet::NodeId{0}, Role::kTerminal);
   const auto result = reliable_broadcast(medium, packet::NodeId{0},
                                          data_packet(0, 10),

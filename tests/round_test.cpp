@@ -19,7 +19,7 @@ std::vector<std::uint8_t> bytes_of(packet::ConstByteSpan s) {
 
 TEST(OpenRound, PerfectChannelEveryoneGetsEverything) {
   channel::IidErasure ch(0.0);
-  net::Medium medium(ch, channel::Rng(1));
+  net::SimMedium medium(ch, channel::Rng(1));
   for (std::uint16_t i = 0; i < 3; ++i)
     medium.attach(T(i), net::Role::kTerminal);
   medium.attach(T(3), net::Role::kEavesdropper);
@@ -37,14 +37,14 @@ TEST(OpenRound, PerfectChannelEveryoneGetsEverything) {
 
 TEST(OpenRound, DeadChannelNothingReceivedReportsStillFlow) {
   channel::IidErasure ch(1.0);
-  net::Medium medium(ch, channel::Rng(2));
+  net::SimMedium medium(ch, channel::Rng(2));
   medium.attach(T(0), net::Role::kTerminal);
   medium.attach(T(1), net::Role::kTerminal);
   // A fully dead channel would stall the *reliable* report broadcast, so
   // use a per-link model: data from Alice dies, everything else flows.
   channel::PerLinkErasure per(0.0);
   per.set(T(0), T(1), 1.0);
-  net::Medium medium2(per, channel::Rng(3));
+  net::SimMedium medium2(per, channel::Rng(3));
   medium2.attach(T(0), net::Role::kTerminal);
   medium2.attach(T(1), net::Role::kTerminal);
 
@@ -57,7 +57,7 @@ TEST(OpenRound, DeadChannelNothingReceivedReportsStillFlow) {
 
 TEST(OpenRound, PayloadsMatchWhatWasSent) {
   channel::IidErasure ch(0.3);
-  net::Medium medium(ch, channel::Rng(4));
+  net::SimMedium medium(ch, channel::Rng(4));
   medium.attach(T(0), net::Role::kTerminal);
   medium.attach(T(1), net::Role::kTerminal);
 
@@ -82,7 +82,7 @@ TEST(OpenRound, SlotsRecordedModuloPatternCount) {
   channel::IidErasure ch(0.2);
   net::MacParams mac;
   mac.slot_duration_s = 0.004;  // a few packets per slot
-  net::Medium medium(ch, channel::Rng(5), mac);
+  net::SimMedium medium(ch, channel::Rng(5), mac);
   medium.attach(T(0), net::Role::kTerminal);
   medium.attach(T(1), net::Role::kTerminal);
 
@@ -99,7 +99,7 @@ TEST(OpenRound, SlotsRecordedModuloPatternCount) {
 
 TEST(OpenRound, ReportsAreOnTheAirAndParseable) {
   channel::IidErasure ch(0.4);
-  net::Medium medium(ch, channel::Rng(6));
+  net::SimMedium medium(ch, channel::Rng(6));
   for (std::uint16_t i = 0; i < 3; ++i)
     medium.attach(T(i), net::Role::kTerminal);
 
@@ -123,7 +123,7 @@ TEST(OpenRound, EveUnionAcrossAntennas) {
   // Antenna 2 hears nothing, antenna 3 hears everything: union = all.
   per.set(T(0), T(2), 1.0);
   per.set(T(0), T(3), 0.0);
-  net::Medium medium(per, channel::Rng(7));
+  net::SimMedium medium(per, channel::Rng(7));
   medium.attach(T(0), net::Role::kTerminal);
   medium.attach(T(1), net::Role::kTerminal);
   medium.attach(T(2), net::Role::kEavesdropper);

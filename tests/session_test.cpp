@@ -11,7 +11,7 @@ namespace {
 
 struct Net {
   channel::IidErasure channel;
-  net::Medium medium;
+  net::SimMedium medium;
 
   Net(double p, std::size_t n, std::uint64_t seed)
       : channel(p), medium(channel, channel::Rng(seed)) {
@@ -147,7 +147,7 @@ TEST(Session, ValidatesConfig) {
 
 TEST(Session, NeedsTwoTerminals) {
   channel::IidErasure ch(0.5);
-  net::Medium medium(ch, channel::Rng(52));
+  net::SimMedium medium(ch, channel::Rng(52));
   medium.attach(packet::NodeId{0}, net::Role::kTerminal);
   EXPECT_THROW(GroupSecretSession(medium, oracle_config()),
                std::invalid_argument);
@@ -236,7 +236,7 @@ TEST(Session, MultiAntennaEveSeesMore) {
   }
   {
     channel::IidErasure ch(0.5);
-    net::Medium medium(ch, channel::Rng(59));
+    net::SimMedium medium(ch, channel::Rng(59));
     for (std::uint16_t i = 0; i < 3; ++i)
       medium.attach(packet::NodeId{i}, net::Role::kTerminal);
     medium.attach(packet::NodeId{3}, net::Role::kEavesdropper);

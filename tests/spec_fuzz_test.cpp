@@ -152,6 +152,12 @@ ScenarioSpec random_spec(std::uint64_t seed) {
   s.mac.inter_frame_gap_s =
       static_cast<double>(rnd_int(rng, 0, 64)) / 1048576.0;
   s.mac.slot_duration_s = static_cast<double>(rnd_int(rng, 1, 64)) / 1024.0;
+
+  // Run pinning: walk all four presence states (unset / seed-only /
+  // threads-only / both) — the [run] section is emitted conditionally,
+  // so absence must round-trip as faithfully as presence.
+  if (rnd_bool(rng)) s.run.seed = rng.next_u64();
+  if (rnd_bool(rng)) s.run.threads = rnd_int(rng, 0, 16);
   return s;
 }
 

@@ -145,6 +145,37 @@ TEST(SpecParse, GoldenErrorMessages) {
                      "line 1: name: unterminated string \"unterminated");
 }
 
+// --------------------------------------------------- [run] execution pinning
+
+TEST(SpecParse, RunSectionPinsSeedAndThreads) {
+  const ScenarioSpec spec = parse_spec("[run]\nseed = 12345\nthreads = 8\n");
+  ASSERT_TRUE(spec.run.seed.has_value());
+  EXPECT_EQ(*spec.run.seed, 12345u);
+  ASSERT_TRUE(spec.run.threads.has_value());
+  EXPECT_EQ(*spec.run.threads, 8u);
+
+  // An unpinned spec serializes with no [run] section at all — absence
+  // must round-trip as faithfully as presence.
+  const ScenarioSpec bare = parse_spec("");
+  EXPECT_FALSE(bare.run.seed.has_value());
+  EXPECT_FALSE(bare.run.threads.has_value());
+  EXPECT_EQ(serialize_spec(bare).find("[run]"), std::string::npos);
+
+  // Partial pinning emits only the pinned key.
+  ScenarioSpec seed_only;
+  seed_only.run.seed = 7;
+  const std::string text = serialize_spec(seed_only);
+  EXPECT_NE(text.find("[run]\nseed = 7\n"), std::string::npos);
+  EXPECT_EQ(text.find("threads"), std::string::npos);
+  EXPECT_EQ(parse_spec(text), seed_only);
+
+  expect_parse_error("[run]\nthreads = 1025\n",
+                     "line 2: run.threads: at most 1024 threads (0 = auto)");
+  expect_parse_error("[run]\nseed = banana\n",
+                     "line 2: run.seed: expected a non-negative integer, got "
+                     "'banana'");
+}
+
 // ---------------------------------------------------------- --set overrides
 
 TEST(SpecOverride, DottedPathsAssignFields) {

@@ -1,0 +1,153 @@
+// thinaird wire codec: encode/decode round trip and fuzz-style decode
+// robustness (truncations, bad magic/version/type, oversized lengths,
+// flipped bytes) — decode must stay total under ASan/UBSan.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "channel/rng.h"
+#include "netd/wire.h"
+
+namespace thinair::netd {
+namespace {
+
+Frame random_frame(channel::Rng& rng) {
+  Frame f;
+  f.header.type = static_cast<std::uint8_t>(rng.next_below(kMaxFrameType + 1));
+  f.header.flags = static_cast<std::uint8_t>(rng.next_u64());
+  f.header.phase = static_cast<std::uint8_t>(rng.next_below(6));
+  f.header.node = static_cast<std::uint16_t>(rng.next_u64());
+  f.header.session = rng.next_u64();
+  f.header.round = static_cast<std::uint32_t>(rng.next_u64());
+  f.header.seq = static_cast<std::uint32_t>(rng.next_u64());
+  f.header.aux = static_cast<std::uint32_t>(rng.next_u64());
+  f.header.reserved = static_cast<std::uint16_t>(rng.next_u64());
+  f.payload.resize(rng.next_below(300));
+  for (auto& b : f.payload) b = rng.next_byte();
+  return f;
+}
+
+TEST(Wire, HeaderSizeIsFixed) {
+  const Frame f;
+  EXPECT_EQ(encode(f).size(), kHeaderSize);
+}
+
+TEST(Wire, RoundTripDifferential) {
+  channel::Rng rng(0xC0DEC);
+  for (int i = 0; i < 2000; ++i) {
+    Frame f = random_frame(rng);
+    const std::vector<std::uint8_t> wire = encode(f);
+    ASSERT_EQ(wire.size(), kHeaderSize + f.payload.size());
+    const DecodeResult d = decode(wire);
+    ASSERT_EQ(d.error, DecodeError::kNone) << to_string(d.error);
+    ASSERT_TRUE(d.frame.has_value());
+    // encode() stamps payload_len; mirror it before comparing.
+    f.header.payload_len = static_cast<std::uint16_t>(f.payload.size());
+    EXPECT_EQ(*d.frame, f);
+    // Re-encode must be byte-identical.
+    EXPECT_EQ(encode(*d.frame), wire);
+  }
+}
+
+TEST(Wire, EncodeRejectsOversizedPayload) {
+  Frame f;
+  f.payload.resize(kMaxPayload + 1);
+  EXPECT_THROW((void)encode(f), std::invalid_argument);
+}
+
+TEST(Wire, DecodeTooShort) {
+  channel::Rng rng(7);
+  const Frame f = random_frame(rng);
+  const std::vector<std::uint8_t> wire = encode(f);
+  for (std::size_t len = 0; len < kHeaderSize; ++len) {
+    const DecodeResult d =
+        decode(std::span<const std::uint8_t>(wire.data(), len));
+    EXPECT_EQ(d.error, DecodeError::kTooShort);
+    EXPECT_FALSE(d.frame.has_value());
+  }
+}
+
+TEST(Wire, DecodeTruncatedAndExtendedPayloads) {
+  channel::Rng rng(8);
+  Frame f = random_frame(rng);
+  f.payload.assign(64, 0x5A);
+  const std::vector<std::uint8_t> wire = encode(f);
+  // Any length mismatch between payload_len and the datagram is rejected.
+  for (std::size_t cut = kHeaderSize; cut < wire.size(); ++cut) {
+    const DecodeResult d =
+        decode(std::span<const std::uint8_t>(wire.data(), cut));
+    EXPECT_EQ(d.error, DecodeError::kLengthMismatch);
+  }
+  std::vector<std::uint8_t> extended = wire;
+  extended.push_back(0);
+  EXPECT_EQ(decode(extended).error, DecodeError::kLengthMismatch);
+}
+
+TEST(Wire, DecodeBadMagicVersionType) {
+  Frame f;
+  std::vector<std::uint8_t> wire = encode(f);
+  {
+    auto bad = wire;
+    bad[0] ^= 0xFF;
+    EXPECT_EQ(decode(bad).error, DecodeError::kBadMagic);
+  }
+  {
+    auto bad = wire;
+    bad[2] = kVersion + 1;
+    EXPECT_EQ(decode(bad).error, DecodeError::kBadVersion);
+  }
+  {
+    auto bad = wire;
+    bad[3] = kMaxFrameType + 1;
+    EXPECT_EQ(decode(bad).error, DecodeError::kBadType);
+  }
+}
+
+TEST(Wire, DecodeOversizedLengthField) {
+  Frame f;
+  std::vector<std::uint8_t> wire = encode(f);
+  // Claim a payload length beyond kMaxPayload without providing bytes.
+  const std::uint16_t huge = static_cast<std::uint16_t>(kMaxPayload + 1);
+  wire[28] = static_cast<std::uint8_t>(huge);
+  wire[29] = static_cast<std::uint8_t>(huge >> 8);
+  EXPECT_EQ(decode(wire).error, DecodeError::kOversized);
+}
+
+TEST(Wire, FuzzRandomBuffersNeverCrash) {
+  channel::Rng rng(0xF022);
+  std::size_t decoded = 0;
+  for (int i = 0; i < 20000; ++i) {
+    std::vector<std::uint8_t> buf(rng.next_below(96));
+    for (auto& b : buf) b = rng.next_byte();
+    const DecodeResult d = decode(buf);
+    if (d.frame.has_value()) {
+      ++decoded;
+      EXPECT_EQ(d.error, DecodeError::kNone);
+    } else {
+      EXPECT_NE(d.error, DecodeError::kNone);
+    }
+  }
+  // Random bytes essentially never form a valid frame (magic + version).
+  EXPECT_LT(decoded, 5u);
+}
+
+TEST(Wire, FuzzFlippedFieldsOnValidFrames) {
+  channel::Rng rng(0xF1E1D);
+  for (int i = 0; i < 4000; ++i) {
+    const Frame f = random_frame(rng);
+    std::vector<std::uint8_t> wire = encode(f);
+    // Flip 1-4 random bytes anywhere in the datagram.
+    const std::size_t flips = 1 + rng.next_below(4);
+    for (std::size_t k = 0; k < flips; ++k)
+      wire[rng.next_below(wire.size())] ^= static_cast<std::uint8_t>(
+          1u << rng.next_below(8));
+    const DecodeResult d = decode(wire);  // must not crash; any verdict ok
+    if (d.frame.has_value()) {
+      // Whatever decoded must re-encode to the same bytes (header integrity).
+      EXPECT_EQ(encode(*d.frame), wire);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace thinair::netd

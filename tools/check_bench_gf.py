@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_gf.json against the checked-in snapshot.
+
+Usage: check_bench_gf.py BASELINE FRESH
+
+Prints a per-kernel delta table so the perf trajectory is visible in
+the CI log of every PR. Absolute GB/s moves with the runner hardware,
+so throughput deltas are informational; what *fails* the check is
+structural drift (a kernel or field disappearing from the output, a
+malformed file) and an implausible collapse of the headline speedup —
+the dispatched SIMD kernel dropping to scalar-class throughput, which
+no runner variance explains.
+"""
+
+import json
+import sys
+
+# The SIMD dispatch is the whole point of the kernel layer; even the
+# slowest runner shows the best kernel well over 2x scalar at 1 KiB
+# (container reference: ~38x). Below this, dispatch is broken.
+MIN_BEST_VS_SCALAR = 2.0
+
+
+def kernel_map(entries):
+    return {e["name"]: e["gb_per_s"] for e in entries}
+
+
+def fail(msg):
+    print(f"check_bench_gf: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+    try:
+        with open(sys.argv[1]) as f:
+            base = json.load(f)
+        with open(sys.argv[2]) as f:
+            fresh = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load inputs: {e}")
+
+    for key in ("bench", "kernels", "mad_multi", "dot_multi",
+                "speedup_1k_best_vs_scalar", "fused_encode", "fused_gather"):
+        if key not in fresh:
+            fail(f"fresh output lost the '{key}' field")
+    if fresh["bench"] != "micro_gf":
+        fail(f"unexpected bench '{fresh['bench']}'")
+
+    for section in ("kernels", "mad_multi", "dot_multi"):
+        b, f = kernel_map(base[section]), kernel_map(fresh[section])
+        missing = sorted(set(b) - set(f))
+        if missing:
+            fail(f"{section}: kernels missing from fresh run: {missing} "
+                 "(registered-kernel regression)")
+        print(f"[{section}]")
+        for name in f:
+            for size, val in f[name].items():
+                ref = b.get(name, {}).get(size)
+                delta = "" if ref in (None, 0) else \
+                    f"  {100.0 * (val - ref) / ref:+6.1f}% vs snapshot"
+                print(f"  {name:>8} {size:>8}: {val:8.3f} GB/s{delta}")
+
+    speedup = fresh["speedup_1k_best_vs_scalar"]
+    print(f"[headline] best-vs-scalar @1KiB: {speedup:.2f}x "
+          f"(snapshot {base['speedup_1k_best_vs_scalar']:.2f}x)")
+    if speedup < MIN_BEST_VS_SCALAR:
+        fail(f"best kernel only {speedup:.2f}x scalar at 1 KiB "
+             f"(< {MIN_BEST_VS_SCALAR}x): SIMD dispatch regressed")
+    print("check_bench_gf: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+#pragma once
+// The daemon-facing thinair subcommands:
+//
+//   thinair serve  — run thinaird (the UDP session daemon) until SIGINT
+//   thinair client — join a session as one terminal and print the key
+//
+// Split out of thinair_cli.cpp so the scenario runtime and the network
+// face stay independently readable. Both return a process exit code.
+
+namespace thinair::tools {
+
+int cmd_serve(int argc, char** argv);
+int cmd_client(int argc, char** argv);
+
+/// Append the serve/client usage lines to the main usage text.
+void netd_usage(const char* argv0);
+
+}  // namespace thinair::tools

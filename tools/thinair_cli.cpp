@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "gf/kernels.h"
+#include "netd_cmd.h"
 #include "runtime/engine.h"
 #include "runtime/result_sink.h"
 #include "runtime/scenarios.h"
@@ -46,12 +47,16 @@ int usage(const char* argv0) {
       "       %s run NAME|--spec FILE [--set key=value]...\n"
       "           [--threads N] [--seed S] [--out FILE|-] [--limit K]\n"
       "           [--quiet] [--kernel scalar|portable|ssse3|avx2|gfni|auto]\n"
-      "       %s kernels\n"
+      "       %s kernels\n",
+      argv0, argv0, argv0, argv0);
+  tools::netd_usage(argv0);
+  std::fprintf(
+      stderr,
       "--spec runs a scenario composed in a spec file (docs/scenarios.md);\n"
       "--set overrides one spec key by dotted path, e.g. channel.p=0.3.\n"
       "--kernel (or THINAIR_GF_KERNEL) retargets the GF(2^8) bulk kernels;\n"
-      "output is byte-identical across kernels.\n",
-      argv0, argv0, argv0, argv0);
+      "output is byte-identical across kernels.\n"
+      "serve/client run a live key agreement over UDP (docs/daemon.md).\n");
   return 2;
 }
 
@@ -162,6 +167,10 @@ struct RunArgs {
   runtime::RunOptions options;
   std::string out;     // empty = no NDJSON, "-" = stdout
   bool quiet = false;  // suppress the summary table
+  // Whether the flag was given explicitly: a spec's [run] section pins
+  // seed/threads only when the corresponding flag is absent (flags win).
+  bool seed_given = false;
+  bool threads_given = false;
 };
 
 /// Strict decimal parse (util::parse_u64) — rejects empty strings,
@@ -232,9 +241,11 @@ bool parse_run_args(int argc, char** argv, RunArgs& args) {
         return false;
       }
       args.options.threads = n;
+      args.threads_given = true;
     } else if (flag == "--seed") {
       const char* v = value();
       if (!parse_u64(v, args.options.master_seed)) return bad_number(v);
+      args.seed_given = true;
     } else if (flag == "--limit") {
       std::uint64_t n = 0;
       const char* v = value();
@@ -266,6 +277,18 @@ int cmd_run(const RunArgs& args) {
       resolve_scenario(args.spec);
   if (!scenario.has_value()) return 1;
 
+  // Spec-level execution pinning ([run] seed/threads): the spec decides
+  // unless the flag was given explicitly. Hand-written scenarios have no
+  // spec and keep the CLI defaults.
+  runtime::RunOptions options = args.options;
+  if (scenario->spec != nullptr) {
+    const runtime::RunSpec& pinned = scenario->spec->run;
+    if (!args.seed_given && pinned.seed.has_value())
+      options.master_seed = *pinned.seed;
+    if (!args.threads_given && pinned.threads.has_value())
+      options.threads = *pinned.threads;
+  }
+
   std::ofstream file;
   std::ostream* ndjson = nullptr;
   if (args.out == "-") {
@@ -282,7 +305,7 @@ int cmd_run(const RunArgs& args) {
   runtime::ResultSink sink(scenario->name, ndjson);
   runtime::RunStats stats;
   try {
-    stats = runtime::run_scenario(*scenario, args.options, sink);
+    stats = runtime::run_scenario(*scenario, options, sink);
   } catch (const std::exception& e) {
     // The engine funnels worker exceptions back to this thread; report
     // them as an error instead of letting main() terminate.
@@ -343,6 +366,14 @@ int main(int argc, char** argv) {
     RunArgs args;
     if (!parse_run_args(argc - 2, argv + 2, args)) return usage(argv[0]);
     return cmd_run(args);
+  }
+  if (command == "serve") {
+    const int rc = tools::cmd_serve(argc - 2, argv + 2);
+    return rc == 2 ? usage(argv[0]) : rc;
+  }
+  if (command == "client") {
+    const int rc = tools::cmd_client(argc - 2, argv + 2);
+    return rc == 2 ? usage(argv[0]) : rc;
   }
   return usage(argv[0]);
 }
