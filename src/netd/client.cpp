@@ -18,7 +18,9 @@ double monotonic_s() {
 
 ClientResult run_client(const ClientConfig& config) {
   ClientResult result;
-  UdpSocket socket = UdpSocket::bind("127.0.0.1", 0);
+  // Wildcard bind: the daemon may live on another host (config.host), and
+  // a loopback-bound socket cannot send off-box.
+  UdpSocket socket = UdpSocket::bind("0.0.0.0", 0);
   const sockaddr_in daemon = make_addr(config.host, config.port);
 
   NodeSession session(config.node);

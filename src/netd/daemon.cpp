@@ -52,11 +52,20 @@ void Daemon::run(const std::function<void()>& on_ready) {
       while (socket_.recv_from(buf, from)) {
         // Learn/refresh the sender's address before the hub replies to it.
         const DecodeResult peek = decode(buf);
-        if (peek.frame.has_value())
-          peers_[PeerKey{peek.frame->header.session,
-                         peek.frame->header.node}] = from;
+        if (!peek.frame.has_value()) {
+          hub_.on_datagram(buf, now, out);  // counts the decode error
+          continue;
+        }
+        const PeerKey key{peek.frame->header.session,
+                          peek.frame->header.node};
+        peers_[key] = from;
         hub_.on_datagram(buf, now, out);
         flush(out);
+        // Keep the entry only while the hub tracks the session: frames for
+        // rejected or unknown sessions (spoofed floods included) must not
+        // grow the peer book between prunes. The reply, if any, already
+        // went out above.
+        if (hub_.session_ledger(key.session) == nullptr) peers_.erase(key);
       }
     }
     if (now - last_tick >= 0.1) {

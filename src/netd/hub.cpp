@@ -272,6 +272,19 @@ void SessionHub::handle_nack(Session& s, const Frame& f,
   Member& member = it->second;
   const std::uint32_t first_missing = f.header.aux;
   if (first_missing >= member.next_relay_seq) return;  // keepalive probe
+  const std::uint32_t oldest =
+      member.ring.empty() ? member.next_relay_seq : member.ring.front().first;
+  if (first_missing < oldest) {
+    // The requested seq has been evicted from the relay ring: the gap is
+    // unrecoverable, so fail the member fast instead of letting it re-NACK
+    // until its deadline.
+    Frame e = make_control(FrameType::kError, f.header.session, f.header.node);
+    e.payload =
+        message_payload("nack: relay history evicted (unrecoverable gap; "
+                        "raise relay_window)");
+    out.push_back({f.header.session, f.header.node, encode(e)});
+    return;
+  }
   for (const auto& [seq, datagram] : member.ring) {
     if (seq < first_missing) continue;
     out.push_back({f.header.session, f.header.node, datagram});

@@ -58,7 +58,10 @@ struct HubConfig {
   std::shared_ptr<const channel::ErasureModel> model;
   std::uint64_t seed = 1;        // base seed; per-session streams derive
   double idle_timeout_s = 30.0;  // expire sessions idle this long
-  std::size_t relay_window = 64;  // relay ring depth per member (kNack)
+  /// Relay ring depth per member (kNack recovery horizon). A member that
+  /// NACKs a seq already evicted from the ring gets kError immediately —
+  /// the gap is unrecoverable.
+  std::size_t relay_window = 64;
   std::size_t max_sessions = 0;   // 0 = unlimited
   net::MacParams mac;             // virtual-airtime accounting model
 };

@@ -93,6 +93,19 @@ void NodeSession::on_tick(double now_s) {
     outbox_.push_back(inflight_wire_);
     last_send_s_ = now_s;
   }
+  // Join probe: the hub sends kReady exactly once per member, and that one
+  // datagram has no ARQ of its own. If it is lost, re-send the kAttach —
+  // the hub treats a repeat attach as an idempotent replay and re-sends
+  // kReady once the roster is complete.
+  if (state_ == State::kJoining && attached_ && !inflight_.has_value() &&
+      now_s - last_rx_s_ >= config_.probe_s &&
+      now_s - last_probe_s_ >= config_.probe_s) {
+    Frame attach;
+    attach.header.type = static_cast<std::uint8_t>(FrameType::kAttach);
+    attach.header.aux = config_.members;
+    send_immediate(attach);
+    last_probe_s_ = now_s;
+  }
   // Idle probe: a kNack carrying the next expected relay seq. The hub
   // resends anything newer we lost; if nothing is newer it ignores the
   // probe. This is what un-wedges a round whose *final* relay was lost.
@@ -151,6 +164,7 @@ void NodeSession::on_hub_frame(const Frame& f, double now_s) {
         return fail("roster does not contain this node");
       roster_ = std::move(terminals);  // std::map order: already ascending
       maybe_start_round(now_s);
+      drain_relays(now_s);  // relays that overtook this kReady
       return;
     }
     case FrameType::kTxReport:
@@ -194,6 +208,13 @@ void NodeSession::on_hub_frame(const Frame& f, double now_s) {
 void NodeSession::on_relay(const Frame& f, double now_s) {
   const std::uint32_t seq = f.header.aux;
   if (seq < next_relay_) return;  // duplicate
+  // Hold relays until the roster is known: a relay can overtake the single
+  // kReady datagram (UDP reorders, or kReady is lost outright) and
+  // deliver() needs the roster to attribute frames to the round's Alice.
+  if (roster_.empty()) {
+    pending_relays_.emplace(seq, f);
+    return;
+  }
   if (seq > next_relay_) {
     // Gap: buffer and ask the hub to resend from the first missing seq.
     pending_relays_.emplace(seq, f);
@@ -208,6 +229,11 @@ void NodeSession::on_relay(const Frame& f, double now_s) {
   }
   deliver(f, now_s);
   ++next_relay_;
+  drain_relays(now_s);
+}
+
+void NodeSession::drain_relays(double now_s) {
+  if (roster_.empty()) return;
   auto it = pending_relays_.begin();
   while (it != pending_relays_.end() && state_ != State::kFailed) {
     if (it->first < next_relay_) {

@@ -33,6 +33,10 @@
 // makes retransmits draw-neutral), and an ordered relay stream from the
 // hub (per-member sequence numbers; gaps trigger kNack recovery, idle
 // periods a probe kNack so a lost final relay cannot deadlock the round).
+// The roster announcement (kReady) is covered too: relays that overtake it
+// are buffered until the roster arrives, and a joining node whose attach
+// was acked re-sends the attach on the probe timer — the hub replays
+// kAttachOk/kReady idempotently — so a lost kReady cannot wedge the join.
 
 #include <cstdint>
 #include <deque>
@@ -125,6 +129,7 @@ class NodeSession {
   void pump(double now_s);
   void on_hub_frame(const Frame& f, double now_s);
   void on_relay(const Frame& f, double now_s);
+  void drain_relays(double now_s);  // deliver buffered in-order relays
   void deliver(const Frame& f, double now_s);  // in-order relayed frame
   void on_ctrl(const Frame& f, double now_s);
   void maybe_start_round(double now_s);
@@ -133,8 +138,10 @@ class NodeSession {
   void finish_receiver_round(std::uint32_t round,
                              const packet::Announcement& s_ann, double now_s);
   void round_complete(double now_s);
+  /// Node id driving `round`, or an id no member can hold while the
+  /// roster is still unknown (node ids are < 64; never divides by zero).
   [[nodiscard]] std::uint16_t alice_of(std::uint32_t round) const {
-    return roster_[round % roster_.size()];
+    return roster_.empty() ? 0xFFFF : roster_[round % roster_.size()];
   }
   [[nodiscard]] std::size_t total_rounds() const {
     return config_.rounds == 0 ? roster_.size() : config_.rounds;

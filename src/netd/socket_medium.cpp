@@ -142,7 +142,9 @@ SocketMedium::SocketMedium(std::string host, std::uint16_t port,
                            net::MacParams params, double rto_s,
                            double deadline_s)
     : HubBackedMedium(session_id, rng, params),
-      socket_(UdpSocket::bind("127.0.0.1", 0)),
+      // Wildcard bind: `host` may be another box, and a loopback-bound
+      // socket cannot send off-box.
+      socket_(UdpSocket::bind("0.0.0.0", 0)),
       daemon_(make_addr(host, port)),
       rto_s_(rto_s),
       deadline_s_(deadline_s) {}

@@ -206,6 +206,109 @@ TEST(NetdLoop, LossyDeliveryActuallyErases) {
   EXPECT_GT(h->hub.stats().frames_relayed.load(), 0u);
 }
 
+TEST(NetdNode, RelayBeforeReadyIsBufferedNotFatal) {
+  // A kRelay can reach a joining node before (or instead of) the single
+  // kReady datagram — UDP reorders, and a forged datagram with a matching
+  // session id is always possible. With the roster still empty this used
+  // to divide by zero in alice_of(); it must buffer instead.
+  NodeSession node(make_node(0, 2));
+  node.start(0.0);
+  Frame relay;
+  relay.header.type = static_cast<std::uint8_t>(FrameType::kRelay);
+  relay.header.session = 0xA11CE;
+  relay.header.node = 1;
+  relay.header.phase = static_cast<std::uint8_t>(WirePhase::kXData);
+  relay.header.aux = 0;  // relay-stream seq
+  relay.payload.assign(16, 0xAB);
+  node.on_datagram(encode(relay), 0.1);
+  EXPECT_FALSE(node.failed());
+  EXPECT_EQ(node.state(), NodeSession::State::kJoining);
+}
+
+TEST(NetdLoop, SurvivesLostReady) {
+  // kReady is sent exactly once per member; if it vanishes, the joining
+  // node's periodic attach replay must pull a fresh copy out of the hub.
+  LoopHarness h{HubConfig{}};
+  h.add_node(make_node(0, 2));
+  h.add_node(make_node(1, 2));
+  std::size_t dropped = 0;
+  h.drop_to_client = [&dropped](const Outgoing& o) {
+    const DecodeResult d = decode(o.datagram);
+    if (d.frame.has_value() &&
+        static_cast<FrameType>(d.frame->header.type) == FrameType::kReady &&
+        dropped < 2) {
+      ++dropped;
+      return true;  // both members' first kReady vanish
+    }
+    return false;
+  };
+  ASSERT_TRUE(h.run());
+  EXPECT_EQ(dropped, 2u);
+  EXPECT_EQ(h.node(0).secret(), h.node(1).secret());
+  EXPECT_FALSE(h.node(0).secret().empty());
+}
+
+TEST(NetdHub, NackPastRingRepliesError) {
+  HubConfig hc;
+  hc.relay_window = 4;
+  SessionHub hub(hc);
+  std::vector<Outgoing> out;
+  auto send = [&](const Frame& f) {
+    out.clear();
+    hub.on_datagram(encode(f), 0.0, out);
+  };
+
+  Frame attach;
+  attach.header.type = static_cast<std::uint8_t>(FrameType::kAttach);
+  attach.header.session = 5;
+  attach.header.aux = 2;
+  attach.header.node = 0;
+  send(attach);
+  attach.header.node = 1;
+  send(attach);
+
+  // Eight reliable broadcasts from node 0: node 1's relay ring (depth 4)
+  // evicts relay seqs 0-3.
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    Frame ctrl;
+    ctrl.header.type = static_cast<std::uint8_t>(FrameType::kCtrl);
+    ctrl.header.session = 5;
+    ctrl.header.node = 0;
+    ctrl.header.seq = i;
+    send(ctrl);
+  }
+
+  // A NACK for an evicted seq must fail fast with kError, not silently
+  // resend nothing and leave the member re-NACKing forever.
+  Frame nack;
+  nack.header.type = static_cast<std::uint8_t>(FrameType::kNack);
+  nack.header.session = 5;
+  nack.header.node = 1;
+  nack.header.aux = 0;
+  send(nack);
+  bool saw_error = false;
+  for (const Outgoing& o : out) {
+    const DecodeResult d = decode(o.datagram);
+    ASSERT_TRUE(d.frame.has_value());
+    if (static_cast<FrameType>(d.frame->header.type) == FrameType::kError &&
+        o.node == 1)
+      saw_error = true;
+  }
+  EXPECT_TRUE(saw_error);
+
+  // A NACK still inside the ring retransmits the tail as before.
+  nack.header.aux = 6;
+  send(nack);
+  std::size_t relays = 0;
+  for (const Outgoing& o : out) {
+    const DecodeResult d = decode(o.datagram);
+    if (d.frame.has_value() &&
+        static_cast<FrameType>(d.frame->header.type) == FrameType::kRelay)
+      ++relays;
+  }
+  EXPECT_EQ(relays, 2u) << "expected seqs 6 and 7 resent";
+}
+
 TEST(NetdHub, SessionExpiresWhenIdle) {
   HubConfig hc;
   hc.idle_timeout_s = 1.0;

@@ -168,7 +168,13 @@ int cmd_client(int argc, char** argv) {
   if (config.node.payload_seed == netd::NodeConfig{}.payload_seed)
     config.node.payload_seed ^= 0x9E3779B97F4A7C15ULL * (config.node.node + 1);
 
-  const netd::ClientResult result = netd::run_client(config);
+  netd::ClientResult result;
+  try {
+    result = netd::run_client(config);
+  } catch (const std::exception& e) {  // socket setup/teardown errors
+    std::fprintf(stderr, "client: %s\n", e.what());
+    return 1;
+  }
   if (!result.ok) {
     std::fprintf(stderr, "client: %s\n", result.error.c_str());
     return 1;
