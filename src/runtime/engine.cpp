@@ -43,21 +43,21 @@ RunStats run_scenario(const Scenario& scenario, const RunOptions& options,
   if (threads <= 1) {
     for (std::size_t i = 0; i < n_cases; ++i) run_case(i);
   } else {
+    // threads-1 pool workers: the submitting thread joins the sweep via
+    // for_each_index instead of idling, so `threads` is the number of
+    // threads actually running cases (and pushing into sink rings).
     std::mutex err_mu;
     std::exception_ptr first_error;
     {
-      TaskPool pool(threads);
-      for (std::size_t i = 0; i < n_cases; ++i) {
-        pool.submit([&, i] {
-          try {
-            run_case(i);
-          } catch (...) {
-            std::lock_guard lock(err_mu);
-            if (!first_error) first_error = std::current_exception();
-          }
-        });
-      }
-      pool.wait_idle();
+      TaskPool pool(threads - 1);
+      pool.for_each_index(n_cases, [&](std::size_t i) {
+        try {
+          run_case(i);
+        } catch (...) {
+          std::lock_guard lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
     }
     if (first_error) std::rethrow_exception(first_error);
   }
@@ -81,12 +81,12 @@ std::vector<std::pair<CaseSpec, CaseResult>> run_scenario_collect(
   std::vector<std::pair<CaseSpec, CaseResult>> collected(
       options.limit != 0 ? std::min(options.limit, plan.size())
                          : plan.size());
-  std::mutex mu;
   Scenario wrapped = scenario;
   wrapped.plan = [&plan] { return plan; };
   wrapped.run = [&](const CaseSpec& spec) {
     CaseResult result = scenario.run(spec);
-    std::lock_guard lock(mu);
+    // Each case writes its own preallocated element — index-disjoint,
+    // so no lock is needed; the pool join publishes the writes.
     collected[spec.index] = {spec, result};
     return result;
   };

@@ -1,11 +1,13 @@
 #pragma once
 // The sweep engine: expands a scenario's SweepPlan, derives one seed per
-// case, executes every case on a work-stealing TaskPool and streams the
-// results through a ResultSink. The determinism contract: for a fixed
-// (scenario, master_seed), the NDJSON bytes and the summary aggregates
-// are identical for every thread count, because nothing observable
-// depends on scheduling — seeds come from case indices and the sink
-// re-orders emission by index.
+// case, executes every case on a work-stealing TaskPool (plus the
+// submitting thread) and streams the results through a ResultSink, whose
+// drainer thread owns all formatting and I/O — workers only ever do a
+// wait-free ring push (see docs/runtime.md). The determinism contract:
+// for a fixed (scenario, master_seed), the NDJSON bytes and the summary
+// aggregates are identical for every thread count, because nothing
+// observable depends on scheduling — seeds come from case indices and
+// the sink re-orders emission by index.
 
 #include <cstdint>
 #include <utility>

@@ -1,9 +1,11 @@
 #include "runtime/result_sink.h"
 
 #include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <ostream>
 #include <stdexcept>
+#include <utility>
 
 #include "util/table.h"
 
@@ -14,9 +16,7 @@ namespace {
 // Minimal JSON string escaping for names that flow into NDJSON keys and
 // values — scenarios are an extension point, so labels are not trusted to
 // be quote-free.
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
+void append_escaped(std::string& out, const std::string& s) {
   for (const char c : s) {
     switch (c) {
       case '"': out += "\\\""; break;
@@ -34,60 +34,177 @@ std::string json_escape(const std::string& s) {
         }
     }
   }
-  return out;
 }
 
-}  // namespace
+void append_u64(std::string& out, std::uint64_t value) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc{})
+    throw std::runtime_error("ResultSink: integer to_chars failed");
+  out.append(buf, ptr);
+}
 
-std::string format_double(double value) {
+void append_double(std::string& out, double value) {
   char buf[32];
   const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
   if (ec != std::errc{})
     throw std::runtime_error("format_double: to_chars failed");
-  return std::string(buf, ptr);
+  out.append(buf, ptr);
+}
+
+// Unique-forever sink ids let a thread cache its claimed ring without
+// any dangling-pointer hazard when sink storage is reused: a dead
+// sink's id never matches again.
+std::uint64_t next_sink_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+struct ProducerCache {
+  std::uint64_t sink_id = 0;
+  void* ring = nullptr;
+};
+thread_local ProducerCache tl_producer;
+
+}  // namespace
+
+std::string format_double(double value) {
+  std::string out;
+  append_double(out, value);
+  return out;
 }
 
 ResultSink::ResultSink(std::string scenario_name, std::ostream* ndjson)
-    : scenario_name_(std::move(scenario_name)), ndjson_(ndjson) {}
+    : scenario_name_(std::move(scenario_name)),
+      ndjson_(ndjson),
+      sink_id_(next_sink_id()) {
+  buffer_.reserve(kFlushBytes + 4096);
+  drainer_ = std::thread([this] { drain_loop(); });
+}
+
+ResultSink::~ResultSink() {
+  stop_drainer();
+  for (std::atomic<Ring*>& slot : rings_)
+    delete slot.load(std::memory_order_relaxed);
+}
+
+ResultSink::Ring& ResultSink::producer_ring() {
+  if (tl_producer.sink_id == sink_id_)
+    return *static_cast<Ring*>(tl_producer.ring);
+  // First push from this thread: claim a slot lock-free and publish the
+  // ring to the drainer. Happens once per (thread, sink) — allocation
+  // here is setup cost, not steady-state push cost.
+  const std::size_t slot = n_rings_.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= kMaxProducers)
+    throw std::logic_error("ResultSink: too many producer threads");
+  Ring* ring = new Ring(kRingCapacity);
+  rings_[slot].store(ring, std::memory_order_release);
+  tl_producer = {sink_id_, ring};
+  return *ring;
+}
 
 void ResultSink::push(const CaseSpec& spec, const CaseResult& result) {
-  std::lock_guard lock(mu_);
-  if (spec.index < next_emit_ || pending_.contains(spec.index))
+  producer_ring().push(Record{spec, result});
+}
+
+bool ResultSink::drain_rings() {
+  bool progress = false;
+  const std::size_t n =
+      std::min(n_rings_.load(std::memory_order_acquire), kMaxProducers);
+  for (std::size_t i = 0; i < n; ++i) {
+    Ring* ring = rings_[i].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;  // claimed but not yet published
+    Record record;
+    while (ring->try_pop(record)) {
+      progress = true;
+      try {
+        accept(std::move(record));
+      } catch (...) {
+        // First error wins; keep consuming so producers never block on
+        // a full ring behind a dead drainer. finish() rethrows.
+        if (!drain_error_) drain_error_ = std::current_exception();
+      }
+    }
+  }
+  return progress;
+}
+
+void ResultSink::drain_loop() {
+  int idle = 0;
+  for (;;) {
+    if (drain_rings()) {
+      idle = 0;
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      // Producers are done (finish() happens-after every push): one
+      // final sweep empties whatever raced with the stop flag.
+      while (drain_rings()) {
+      }
+      return;
+    }
+    // Spin briefly for low latency, then back off to sleeping so an
+    // idle drainer does not burn a core under long-running cases.
+    if (++idle < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+}
+
+void ResultSink::accept(Record&& record) {
+  if (drain_error_) return;  // already failed: discard, keep rings moving
+  const std::size_t index = record.spec.index;
+  if (index < next_emit_ || pending_.contains(index))
     throw std::logic_error("ResultSink: case pushed twice");
-  if (spec.index != next_emit_) {
-    pending_.emplace(spec.index, std::make_pair(spec, result));
+  if (index != next_emit_) {
+    pending_.emplace(index, std::move(record));
     return;
   }
-  emit(spec, result);
+  emit(record.spec, record.result);
   ++next_emit_;
   // Drain the contiguous run that was waiting on this case.
   for (auto it = pending_.begin();
        it != pending_.end() && it->first == next_emit_;
        it = pending_.erase(it), ++next_emit_) {
-    emit(it->second.first, it->second.second);
+    emit(it->second.spec, it->second.result);
   }
+  emitted_.store(next_emit_, std::memory_order_relaxed);
 }
 
 void ResultSink::emit(const CaseSpec& spec, const CaseResult& result) {
   if (ndjson_ != nullptr) {
-    std::ostream& os = *ndjson_;
-    os << "{\"scenario\":\"" << json_escape(scenario_name_)
-       << "\",\"index\":" << spec.index << ",\"seed\":" << spec.seed;
-    if (!result.group.empty())
-      os << ",\"group\":\"" << json_escape(result.group) << "\"";
-    os << ",\"params\":{";
+    std::string& out = buffer_;
+    out += "{\"scenario\":\"";
+    append_escaped(out, scenario_name_);
+    out += "\",\"index\":";
+    append_u64(out, spec.index);
+    out += ",\"seed\":";
+    append_u64(out, spec.seed);
+    if (!result.group.empty()) {
+      out += ",\"group\":\"";
+      append_escaped(out, result.group);
+      out += "\"";
+    }
+    out += ",\"params\":{";
     for (std::size_t i = 0; i < spec.params.size(); ++i) {
-      if (i > 0) os << ",";
-      os << "\"" << json_escape(spec.params[i].name)
-         << "\":" << format_double(spec.params[i].value);
+      if (i > 0) out += ",";
+      out += "\"";
+      append_escaped(out, spec.params[i].name);
+      out += "\":";
+      append_double(out, spec.params[i].value);
     }
-    os << "},\"metrics\":{";
+    out += "},\"metrics\":{";
     for (std::size_t i = 0; i < result.metrics.size(); ++i) {
-      if (i > 0) os << ",";
-      os << "\"" << json_escape(result.metrics[i].name)
-         << "\":" << format_double(result.metrics[i].value);
+      if (i > 0) out += ",";
+      out += "\"";
+      append_escaped(out, result.metrics[i].name);
+      out += "\":";
+      append_double(out, result.metrics[i].value);
     }
-    os << "}}\n";
+    out += "}}\n";
+    if (out.size() >= kFlushBytes) flush_buffer();
   }
 
   GroupSummary* group = nullptr;
@@ -101,16 +218,33 @@ void ResultSink::emit(const CaseSpec& spec, const CaseResult& result) {
   for (const Metric& m : result.metrics) group->metrics[m.name].add(m.value);
 }
 
+void ResultSink::flush_buffer() {
+  if (ndjson_ != nullptr && !buffer_.empty()) {
+    ndjson_->write(buffer_.data(),
+                   static_cast<std::streamsize>(buffer_.size()));
+    buffer_.clear();
+  }
+}
+
+void ResultSink::stop_drainer() {
+  if (!drainer_.joinable()) return;
+  stop_.store(true, std::memory_order_release);
+  drainer_.join();
+}
+
 void ResultSink::mark_truncated(std::size_t run_cases,
                                 std::size_t plan_cases) {
-  std::lock_guard lock(mu_);
   if (run_cases >= plan_cases)
     throw std::logic_error("ResultSink::mark_truncated: nothing truncated");
   truncated_plan_cases_ = plan_cases;
 }
 
 void ResultSink::finish() {
-  std::lock_guard lock(mu_);
+  stop_drainer();
+  // Lines emitted before a contract violation still reach the stream —
+  // matching the old eager-writing sink's behaviour on error paths.
+  flush_buffer();
+  if (drain_error_) std::rethrow_exception(drain_error_);
   if (!pending_.empty())
     throw std::logic_error("ResultSink::finish: missing case " +
                            std::to_string(next_emit_));
@@ -119,21 +253,26 @@ void ResultSink::finish() {
     // stamp that into the stream so downstream readers cannot mistake
     // the file for a full sweep. Full runs emit no footer, keeping
     // their bytes identical to pre-footer versions.
-    if (truncated_plan_cases_ != 0)
-      *ndjson_ << "{\"scenario\":\"" << json_escape(scenario_name_)
-               << "\",\"truncated\":true,\"cases\":" << next_emit_
-               << ",\"plan_cases\":" << truncated_plan_cases_ << "}\n";
+    if (truncated_plan_cases_ != 0) {
+      std::string& out = buffer_;
+      out += "{\"scenario\":\"";
+      append_escaped(out, scenario_name_);
+      out += "\",\"truncated\":true,\"cases\":";
+      append_u64(out, next_emit_);
+      out += ",\"plan_cases\":";
+      append_u64(out, truncated_plan_cases_);
+      out += "}\n";
+      flush_buffer();
+    }
     ndjson_->flush();
   }
 }
 
 std::size_t ResultSink::cases() const {
-  std::lock_guard lock(mu_);
-  return next_emit_;
+  return emitted_.load(std::memory_order_relaxed);
 }
 
 void ResultSink::print_summary(std::ostream& os) const {
-  std::lock_guard lock(mu_);
   util::Table t({"group", "metric", "cases", "min", "mean", "stddev", "max"});
   for (const GroupSummary& g : groups_) {
     for (const auto& [name, summary] : g.metrics) {

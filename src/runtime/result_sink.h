@@ -1,28 +1,41 @@
 #pragma once
-// Streaming result aggregation for sweeps.
+// Lock-free streaming result aggregation for sweeps.
 //
-// Workers push CaseResults in completion order; the sink re-serialises
-// them into case-index order through a bounded reorder buffer (a map of
-// out-of-order results plus a next-to-emit cursor) and, per case, (a)
-// writes one NDJSON line to the optional stream and (b) folds the metrics
-// into per-group util::Summary accumulators. Because emission strictly
-// follows case index, both the NDJSON bytes and the accumulator contents
-// are independent of thread count and steal order — this is the second
-// half of the runtime's determinism contract (seeds are the first).
+// Workers push CaseResults in completion order; push() is an
+// enqueue-and-return into a per-thread SPSC ring (runtime/spsc_ring.h)
+// — no mutex, no number formatting, no stream I/O ever runs on a worker
+// thread. A dedicated drainer thread, spawned by the constructor and
+// joined by finish() (or the destructor on error unwind), owns
+// everything that used to happen under the old sink mutex: the
+// case-index reorder buffer, NDJSON line building into a large buffered
+// writer, and the per-group util::Summary folds. Because the drainer
+// still emits strictly in case-index order, both the NDJSON bytes and
+// the accumulator contents are independent of thread count and steal
+// order — this is the second half of the runtime's determinism contract
+// (seeds are the first), and the golden-SHA256 suites pin it.
 //
-// Memory: the reorder buffer only holds results that finished ahead of
-// the emission cursor (bounded by in-flight parallelism in practice), and
-// summaries hold one sample per case per metric — never the full result
-// objects.
+// Backpressure: rings are fixed-capacity, so a producer that outruns
+// the drainer spins until a slot frees up. Memory is bounded by
+// O(producers x ring capacity) plus the reorder buffer, which only
+// holds results that finished ahead of the emission cursor (bounded by
+// in-flight parallelism in practice).
+//
+// Contract errors (an index pushed twice, a formatting failure) are
+// detected on the drainer and rethrown by finish(); summaries() and
+// print_summary() are valid once finish() has returned.
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <exception>
 #include <iosfwd>
 #include <map>
-#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "runtime/scenario.h"
+#include "runtime/spsc_ring.h"
 #include "util/stats.h"
 
 namespace thinair::runtime {
@@ -34,25 +47,40 @@ namespace thinair::runtime {
 class ResultSink {
  public:
   /// `ndjson` may be nullptr (aggregate only). The stream must outlive
-  /// the sink.
+  /// the sink. Spawns the drainer thread.
   ResultSink(std::string scenario_name, std::ostream* ndjson);
 
-  /// Record case `spec` -> `result`. Thread-safe. Each index must be
-  /// pushed exactly once.
+  /// Stops and joins the drainer. Destruction without finish() is the
+  /// error-unwind path: buffered output that finish() would have
+  /// written stays unwritten, and contract violations are swallowed.
+  ~ResultSink();
+
+  ResultSink(const ResultSink&) = delete;
+  ResultSink& operator=(const ResultSink&) = delete;
+
+  /// Record case `spec` -> `result`. Thread-safe, wait-free on the
+  /// worker side apart from full-ring backpressure: the record is
+  /// enqueued on the calling thread's ring and the call returns. Each
+  /// index must be pushed exactly once; violations surface as
+  /// std::logic_error from finish(), which must happen-after every
+  /// push (the engine guarantees this by joining its pool first).
   void push(const CaseSpec& spec, const CaseResult& result);
 
   /// Declare that this run covers only the first `run_cases` of the
   /// plan's `plan_cases` (--limit): finish() appends a one-line
   /// {"truncated":true,...} footer to the NDJSON stream and
   /// print_summary flags the group rows as partial. Without this call a
-  /// full run's output bytes are unchanged.
+  /// full run's output bytes are unchanged. Call before finish().
   void mark_truncated(std::size_t run_cases, std::size_t plan_cases);
 
-  /// Flush the stream. Throws std::logic_error if indices emitted so far
-  /// are not the contiguous range [0, cases()) — i.e. a case was lost.
+  /// Drain-join: stops the drainer once every ring is empty, writes the
+  /// buffered NDJSON tail plus the optional truncation footer, and
+  /// flushes the stream. Throws std::logic_error if the emitted indices
+  /// are not the contiguous range [0, cases()) — i.e. a case was lost
+  /// or pushed twice.
   void finish();
 
-  /// Cases emitted (== cases pushed once finish() succeeded).
+  /// Cases emitted so far (== cases pushed, once finish() succeeded).
   [[nodiscard]] std::size_t cases() const;
 
   struct GroupSummary {
@@ -62,26 +90,62 @@ class ResultSink {
     std::map<std::string, util::Summary> metrics;
   };
 
-  /// Summaries in first-appearance (case-index) order.
+  /// Summaries in first-appearance (case-index) order. Valid once
+  /// finish() has returned.
   [[nodiscard]] const std::vector<GroupSummary>& summaries() const {
     return groups_;
   }
 
   /// Render the summaries as a fixed-width table (one row per group x
-  /// metric: count, min, mean, stddev, max).
+  /// metric: count, min, mean, stddev, max). Valid once finish() has
+  /// returned.
   void print_summary(std::ostream& os) const;
 
  private:
+  struct Record {
+    CaseSpec spec;
+    CaseResult result;
+  };
+  using Ring = SpscRing<Record>;
+
+  /// Records each producer ring can hold before push() backpressures.
+  static constexpr std::size_t kRingCapacity = 1024;
+  /// Ring slots: engine::kMaxRunThreads workers plus the submitting
+  /// thread plus slack for external callers.
+  static constexpr std::size_t kMaxProducers = 1088;
+  /// Drainer flushes its line buffer to the stream at this size.
+  static constexpr std::size_t kFlushBytes = 256 * 1024;
+
+  [[nodiscard]] Ring& producer_ring();
+  void drain_loop();
+  bool drain_rings();
+  void accept(Record&& record);
   void emit(const CaseSpec& spec, const CaseResult& result);
+  void flush_buffer();
+  void stop_drainer();
 
   std::string scenario_name_;
   std::ostream* ndjson_;
+  std::uint64_t sink_id_;
 
-  mutable std::mutex mu_;
-  std::size_t truncated_plan_cases_ = 0;  // 0 = not truncated
+  // Producer registry: slots are claimed lock-free (fetch_add) by the
+  // first push from each thread; the Ring* store/load pair
+  // (release/acquire) publishes the ring to the drainer.
+  std::array<std::atomic<Ring*>, kMaxProducers> rings_{};
+  std::atomic<std::size_t> n_rings_{0};
+
+  // Drainer-owned state; the main thread touches it only after the
+  // drainer is joined (finish()/destructor).
   std::size_t next_emit_ = 0;
-  std::map<std::size_t, std::pair<CaseSpec, CaseResult>> pending_;
+  std::map<std::size_t, Record> pending_;
   std::vector<GroupSummary> groups_;
+  std::string buffer_;
+  std::exception_ptr drain_error_;
+
+  std::size_t truncated_plan_cases_ = 0;  // 0 = not truncated
+  std::atomic<std::size_t> emitted_{0};
+  std::atomic<bool> stop_{false};
+  std::thread drainer_;
 };
 
 }  // namespace thinair::runtime

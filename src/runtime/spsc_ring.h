@@ -1,0 +1,100 @@
+#pragma once
+// A fixed-capacity single-producer/single-consumer ring buffer.
+//
+// This is the wait-free substrate of the lock-free result path
+// (runtime/result_sink.h): each worker thread owns exactly one ring as
+// its producer side, and the sink's drainer thread is the single
+// consumer of all of them. The protocol is the classic Lamport queue
+// with cached cursors:
+//
+//   - `tail_` is written only by the producer (release) and read by the
+//     consumer (acquire); `head_` is the mirror image. The release
+//     store on `tail_` publishes the slot contents written just before
+//     it, so the consumer's acquire load is the only synchronisation a
+//     pop needs — no CAS, no locks, no fences beyond acquire/release.
+//   - Each side keeps a plain (non-atomic) snapshot of the other side's
+//     cursor and only re-reads the shared atomic when the snapshot says
+//     the ring looks full/empty. A push or pop therefore touches the
+//     *other* side's cache line only ~1/capacity of the time instead of
+//     every call.
+//   - The two cursor pairs live on separate cache lines (`alignas(64)`)
+//     so producer and consumer never false-share.
+//
+// Overflow policy: `try_push` fails when the ring is full; `push` spins
+// (yielding) until a slot frees up — bounded backpressure, chosen over
+// unbounded queues so a stalled consumer surfaces as producer latency
+// instead of unbounded memory growth. The memory-ordering argument is
+// machine-checked by the ThreadSanitizer CI job (THINAIR_SANITIZE=thread)
+// over tests/ring_test.cpp, not just asserted here.
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace thinair::runtime {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to the next power of two (minimum 1) so the
+  /// slot index is a mask, not a modulo.
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. False when the ring is full; `value` is untouched
+  /// on failure.
+  bool try_push(T&& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ == capacity()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ == capacity()) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side. Spins (yielding) until a slot is free — the
+  /// bounded-backpressure overflow policy.
+  void push(T value) {
+    while (!try_push(std::move(value))) std::this_thread::yield();
+  }
+
+  /// Consumer side. False when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side view; racy (but conservative) from anywhere else.
+  [[nodiscard]] bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+
+  // Consumer-owned line: its cursor plus its snapshot of the producer's.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  std::size_t cached_tail_ = 0;
+  // Producer-owned line.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::size_t cached_head_ = 0;
+};
+
+}  // namespace thinair::runtime

@@ -55,6 +55,21 @@ void TaskPool::wait_idle() {
   idle_.wait(lock, [this] { return unfinished_ == 0; });
 }
 
+void TaskPool::for_each_index(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  // One claim loop shared by every participant; capturing fn by
+  // reference is safe because this frame outlives the pool drain below.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  const auto body = [n, &fn, next] {
+    for (std::size_t i = next->fetch_add(1, std::memory_order_relaxed); i < n;
+         i = next->fetch_add(1, std::memory_order_relaxed))
+      fn(i);
+  };
+  for (std::size_t w = 0; w < workers_.size() && w < n; ++w) submit(body);
+  body();  // the calling thread sweeps too instead of idling in wait
+  wait_idle();
+}
+
 bool TaskPool::try_pop(std::size_t self, std::function<void()>& out) {
   {  // Own queue first, oldest task (FIFO) — see the header for why.
     Queue& q = *queues_[self];

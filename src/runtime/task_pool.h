@@ -27,6 +27,8 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+
 namespace thinair::runtime {
 
 class TaskPool {
@@ -45,6 +47,18 @@ class TaskPool {
 
   /// Block until every submitted task has finished.
   void wait_idle();
+
+  /// Run fn(i) for every i in [0, n) across the pool's workers *and the
+  /// calling thread*, dynamically load-balanced through one shared
+  /// atomic cursor — the index-sweep fast path. Compared with n
+  /// submit() calls this costs one queue/mutex round-trip per *worker*
+  /// instead of per task, and the grain-1 cursor keeps completion order
+  /// close to index order (good for the sink's reorder buffer) while
+  /// still absorbing heterogeneous case costs. Blocks until all n
+  /// indices ran. `fn` must not throw (catch inside, as the engine
+  /// does); do not call from inside a pool task.
+  void for_each_index(std::size_t n,
+                      const std::function<void(std::size_t)>& fn);
 
   [[nodiscard]] std::size_t threads() const { return workers_.size(); }
 

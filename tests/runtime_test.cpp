@@ -3,7 +3,9 @@
 // guarantee — a sweep's NDJSON is byte-identical at any thread count.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <random>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -108,6 +110,47 @@ TEST(TaskPool, StealsAcrossWorkers) {
   EXPECT_GE(tids.size(), 1u);  // >1 on multicore machines; 1-core CI is ok
 }
 
+TEST(TaskPool, ForEachIndexCoversEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  TaskPool pool(3);
+  pool.for_each_index(hits.size(),
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const std::atomic<int>& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(TaskPool, ForEachIndexRunsOnCallerToo) {
+  // Jam the only worker behind a gate task: every index must then be
+  // swept by the calling thread itself. The last index opens the gate
+  // so for_each_index's internal drain can complete.
+  TaskPool pool(1);
+  std::atomic<bool> release{false};
+  pool.submit([&] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  std::atomic<int> count{0};
+  std::set<std::thread::id> tids;
+  std::mutex mu;
+  pool.for_each_index(64, [&](std::size_t) {
+    {
+      std::lock_guard lock(mu);
+      tids.insert(std::this_thread::get_id());
+    }
+    if (count.fetch_add(1) + 1 == 64) release.store(true);
+  });
+  EXPECT_EQ(count.load(), 64);
+  ASSERT_EQ(tids.size(), 1u);
+  EXPECT_TRUE(tids.contains(std::this_thread::get_id()));
+}
+
+TEST(TaskPool, ForEachIndexHandlesEmptyAndSmallRanges) {
+  TaskPool pool(4);
+  std::atomic<int> count{0};
+  pool.for_each_index(0, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
+  pool.for_each_index(2, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 2);
+}
+
 TEST(TaskPool, SubmitFromInsideATask) {
   std::atomic<int> count{0};
   TaskPool pool(2);
@@ -148,11 +191,78 @@ TEST(ResultSink, ReordersOutOfOrderPushes) {
 }
 
 TEST(ResultSink, RejectsDuplicatesAndGaps) {
-  ResultSink sink("s", nullptr);
-  sink.push(CaseSpec{0, 0, {}}, CaseResult{});
-  EXPECT_THROW(sink.push(CaseSpec{0, 0, {}}, CaseResult{}), std::logic_error);
-  sink.push(CaseSpec{2, 0, {}}, CaseResult{});
-  EXPECT_THROW(sink.finish(), std::logic_error);  // case 1 missing
+  {
+    // Duplicate pushes are detected on the drainer (push itself is a
+    // wait-free enqueue) and surface when finish() joins it.
+    ResultSink sink("s", nullptr);
+    sink.push(CaseSpec{0, 0, {}}, CaseResult{});
+    sink.push(CaseSpec{0, 0, {}}, CaseResult{});
+    EXPECT_THROW(sink.finish(), std::logic_error);
+  }
+  {
+    ResultSink sink("s", nullptr);
+    sink.push(CaseSpec{0, 0, {}}, CaseResult{});
+    sink.push(CaseSpec{2, 0, {}}, CaseResult{});
+    EXPECT_THROW(sink.finish(), std::logic_error);  // case 1 missing
+  }
+}
+
+TEST(ResultSink, DestructionWithoutFinishIsClean) {
+  // The error-unwind path: a sink abandoned mid-run (engine rethrowing a
+  // case exception) must stop its drainer without touching the stream.
+  std::ostringstream out;
+  {
+    ResultSink sink("s", &out);
+    sink.push(CaseSpec{1, 0, {}}, CaseResult{});  // case 0 never arrives
+  }
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(ResultSink, StressRandomPushOrderMatchesSingleThreadedBytes) {
+  // Thousands of cases pushed from several threads in shuffled order
+  // must produce byte-identical NDJSON (and summaries) to an in-order
+  // single-threaded reference push — the determinism contract exercised
+  // directly at the sink layer, through the rings and the drainer.
+  constexpr std::size_t kCases = 4000;
+  constexpr std::size_t kThreads = 4;
+  const auto spec = [](std::size_t i) {
+    return CaseSpec{i, derive_seed(3, i),
+                    {{"i", static_cast<double>(i)}, {"x", 0.5 * i}}};
+  };
+  const auto result = [](std::size_t i) {
+    return CaseResult{i % 3 == 0 ? "a" : "b",
+                      {{"m", 1.0 / (1.0 + i)}, {"n", static_cast<double>(i)}}};
+  };
+
+  std::ostringstream ref_out;
+  ResultSink ref("stress", &ref_out);
+  for (std::size_t i = 0; i < kCases; ++i) ref.push(spec(i), result(i));
+  ref.finish();
+
+  std::ostringstream out;
+  ResultSink sink("stress", &out);
+  std::vector<std::thread> producers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      // Each thread owns a disjoint residue class, pushed in an order
+      // shuffled by a thread-specific RNG.
+      std::vector<std::size_t> mine;
+      for (std::size_t i = t; i < kCases; i += kThreads) mine.push_back(i);
+      std::mt19937 shuffle_rng(static_cast<unsigned>(17 + t));
+      std::shuffle(mine.begin(), mine.end(), shuffle_rng);
+      for (const std::size_t i : mine) sink.push(spec(i), result(i));
+    });
+  }
+  for (std::thread& p : producers) p.join();
+  sink.finish();
+
+  EXPECT_EQ(sink.cases(), kCases);
+  EXPECT_EQ(out.str(), ref_out.str());
+  ASSERT_EQ(sink.summaries().size(), ref.summaries().size());
+  for (std::size_t g = 0; g < sink.summaries().size(); ++g) {
+    EXPECT_EQ(sink.summaries()[g].group, ref.summaries()[g].group);
+    EXPECT_EQ(sink.summaries()[g].cases, ref.summaries()[g].cases);
+  }
 }
 
 TEST(ResultSink, FormatDoubleRoundTrips) {
@@ -205,6 +315,15 @@ TEST(Engine, NdjsonIsByteIdenticalAcrossThreadCounts) {
   EXPECT_EQ(std::count(one.begin(), one.end(), '\n'), 64);
   EXPECT_EQ(one, run_to_ndjson(s, 8));
   EXPECT_EQ(one, run_to_ndjson(s, 3));
+}
+
+TEST(RunStats, CasesPerSecond) {
+  RunStats stats;
+  stats.cases = 10;
+  stats.wall_s = 2.0;
+  EXPECT_DOUBLE_EQ(stats.cases_per_s(), 5.0);
+  stats.wall_s = 0.0;  // degenerate clock resolution: no division by zero
+  EXPECT_DOUBLE_EQ(stats.cases_per_s(), 0.0);
 }
 
 TEST(Engine, LimitTruncatesThePlan) {
