@@ -1,10 +1,16 @@
 #include "analysis/eve_view.h"
 
+#include <tuple>
+
 namespace thinair::analysis {
 
 EveView::EveView(std::size_t universe) : space_(universe) {}
 
-void EveView::observe_x(std::uint32_t index) { space_.insert_unit(index); }
+void EveView::observe_x(std::uint32_t index) {
+  // Whether the observation grew Eve's span is irrelevant here; the
+  // equivocation queries read the resulting rank directly.
+  std::ignore = space_.insert_unit(index);
+}
 
 void EveView::observe_x(const std::vector<std::uint32_t>& indices) {
   for (std::uint32_t i : indices) observe_x(i);

@@ -74,12 +74,12 @@ RoundContext open_round(net::Medium& medium, packet::NodeId alice,
     ctx.table.set_received(receivers[ri], ctx.rx_indices[ri]);
     const packet::ReceptionReport report{static_cast<std::uint32_t>(n),
                                          ctx.rx_indices[ri]};
-    packet::Packet pkt{.kind = packet::Kind::kReport,
-                       .source = receivers[ri],
-                       .round = round,
-                       .seq = packet::PacketSeq{0},
-                       .payload = packet::encode(report)};
-    net::reliable_broadcast(medium, receivers[ri], pkt,
+    const packet::Packet report_pkt{.kind = packet::Kind::kReport,
+                                    .source = receivers[ri],
+                                    .round = round,
+                                    .seq = packet::PacketSeq{0},
+                                    .payload = packet::encode(report)};
+    net::reliable_broadcast(medium, receivers[ri], report_pkt,
                             net::TrafficClass::kControl);
   }
 

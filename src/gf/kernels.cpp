@@ -965,6 +965,15 @@ const Kernel* resolve_default() {
   return best_kernel();
 }
 
+// The dispatch singleton. Everything reachable from it is immutable
+// after first use — the kernel vtables are constinit-style statics and
+// kernel_list() is a magic static — so the only mutable state in the
+// whole dispatch layer is this one pointer slot, and it is atomic.
+// Relaxed ordering suffices: a kernel pointer is self-contained (no
+// data is published through the store), and torn selection is
+// impossible. This is the lock-free pattern thinair_lint's RNG and
+// allocation rules assume when they exempt this file; the thread-safety
+// contract is documented on set_active_kernel() in the header.
 std::atomic<const Kernel*>& active_slot() {
   static std::atomic<const Kernel*> slot{resolve_default()};
   return slot;

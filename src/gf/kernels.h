@@ -97,8 +97,11 @@ struct Kernel {
 
 /// Select by name ("auto" restores CPUID dispatch). Returns false — and
 /// leaves the selection unchanged — when the name is unknown or names a
-/// kernel this CPU cannot run.
-bool set_active_kernel(std::string_view name);
+/// kernel this CPU cannot run. Thread-safe (the selection is one relaxed
+/// atomic slot; kernel tables themselves are immutable after init), but
+/// switching mid-computation interleaves kernels across calls — callers
+/// sequence selection before spawning workers, as the CLI does.
+[[nodiscard]] bool set_active_kernel(std::string_view name);
 
 /// y[i] = c * x[i] over n bytes through the active kernel (x == y allowed).
 inline void mul_row(GF256 c, const std::uint8_t* x, std::uint8_t* y,

@@ -25,15 +25,19 @@ class LinearSpace {
   [[nodiscard]] std::size_t rank() const { return basis_.size(); }
 
   /// Insert a vector; returns true when it was independent of (and thus
-  /// enlarged) the space. Vector length must equal dim().
-  bool insert(std::span<const std::uint8_t> v);
+  /// enlarged) the space. Vector length must equal dim(). The return
+  /// value is the rank-growth signal the secrecy analysis is built on —
+  /// callers that genuinely only want the side effect must say so with
+  /// std::ignore.
+  [[nodiscard]] bool insert(std::span<const std::uint8_t> v);
 
   /// Insert every row of m (m.cols() must equal dim()); returns the number
-  /// of rows that enlarged the space.
+  /// of rows that enlarged the space. Discardable: bulk observation
+  /// feeds routinely ignore the per-batch count (rank() has the total).
   std::size_t insert_rows(const Matrix& m);
 
   /// Insert the `index`-th unit vector (an observation of one raw symbol).
-  bool insert_unit(std::size_t index);
+  [[nodiscard]] bool insert_unit(std::size_t index);
 
   /// True when v lies in the span.
   [[nodiscard]] bool contains(std::span<const std::uint8_t> v) const;
@@ -52,7 +56,7 @@ class LinearSpace {
   std::size_t reduce(std::vector<std::uint8_t>& v) const;
 
   /// insert() taking ownership of the candidate row (no defensive copy).
-  bool insert_owned(std::vector<std::uint8_t> w);
+  [[nodiscard]] bool insert_owned(std::vector<std::uint8_t> w);
 
   std::size_t dim_;
   // Rows kept sorted by pivot column; each row is normalised (pivot == 1)

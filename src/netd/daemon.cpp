@@ -31,6 +31,9 @@ void Daemon::flush(std::vector<Outgoing>& out) {
 }
 
 void Daemon::run(const std::function<void()>& on_ready) {
+  // One loop thread at a time: claim the loop role for the body so every
+  // peer-book touch below is statically tied to this region.
+  util::RoleLock role(&loop_role_);
   if (on_ready) on_ready();
 
   std::vector<int> ready;

@@ -21,6 +21,8 @@
 #include "netd/hub.h"
 #include "netd/poller.h"
 #include "netd/udp.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace thinair::netd {
 
@@ -47,13 +49,19 @@ class Daemon {
   [[nodiscard]] bool using_epoll() const { return poller_.using_epoll(); }
 
  private:
-  void flush(std::vector<Outgoing>& out);
+  void flush(std::vector<Outgoing>& out) THINAIR_REQUIRES(loop_role_);
 
   DaemonConfig config_;
   UdpSocket socket_;
   Poller poller_;
-  SessionHub hub_;
-  std::map<PeerKey, sockaddr_in> peers_;
+  SessionHub hub_;  // internally locked (thread-safe for monitors)
+  // The peer book belongs to the event-loop thread alone: run() claims
+  // loop_role_ for its whole body, so any new code path touching peers_
+  // from outside the loop fails -Wthread-safety instead of racing. The
+  // only cross-thread entry points are stop() (atomic flag) and the
+  // const accessors above, none of which reach loop state.
+  util::Role loop_role_;
+  std::map<PeerKey, sockaddr_in> peers_ THINAIR_GUARDED_BY(loop_role_);
   std::atomic<bool> stop_{false};
 };
 

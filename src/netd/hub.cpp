@@ -56,6 +56,7 @@ void SessionHub::on_datagram(std::span<const std::uint8_t> bytes, double now_s,
   const Frame& f = *decoded.frame;
   const std::uint64_t id = f.header.session;
 
+  util::MutexLock lock(&mu_);
   switch (static_cast<FrameType>(f.header.type)) {
     case FrameType::kAttach:
       handle_attach(f, now_s, out);
@@ -320,6 +321,7 @@ void SessionHub::expire_session(std::uint64_t id, std::vector<Outgoing>& out) {
 }
 
 void SessionHub::on_tick(double now_s, std::vector<Outgoing>& out) {
+  util::MutexLock lock(&mu_);
   for (const TimerWheel::Entry& entry : wheel_.advance(now_s)) {
     auto it = sessions_.find(entry.id);
     if (it == sessions_.end()) continue;  // closed since scheduling
@@ -333,6 +335,7 @@ void SessionHub::on_tick(double now_s, std::vector<Outgoing>& out) {
 }
 
 const net::Ledger* SessionHub::session_ledger(std::uint64_t id) const {
+  util::MutexLock lock(&mu_);
   auto it = sessions_.find(id);
   return it == sessions_.end() ? nullptr : &it->second.ledger;
 }

@@ -48,6 +48,8 @@
 #include "net/medium.h"
 #include "netd/timer_wheel.h"
 #include "netd/wire.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace thinair::netd {
 
@@ -101,7 +103,10 @@ class SessionHub {
   void on_tick(double now_s, std::vector<Outgoing>& out);
 
   [[nodiscard]] const HubStats& stats() const { return stats_; }
-  [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
+  [[nodiscard]] std::size_t session_count() const {
+    util::MutexLock lock(&mu_);
+    return sessions_.size();
+  }
   [[nodiscard]] const HubConfig& config() const { return config_; }
 
   /// Virtual airtime ledger of a live session (nullptr when unknown) —
@@ -139,26 +144,38 @@ class SessionHub {
     explicit Session(channel::Rng r) : rng(r) {}
   };
 
-  void handle_attach(const Frame& f, double now_s, std::vector<Outgoing>& out);
-  void handle_broadcast(Session& s, const Frame& f, std::vector<Outgoing>& out);
-  void handle_nack(Session& s, const Frame& f, std::vector<Outgoing>& out);
+  void handle_attach(const Frame& f, double now_s, std::vector<Outgoing>& out)
+      THINAIR_REQUIRES(mu_);
+  void handle_broadcast(Session& s, const Frame& f, std::vector<Outgoing>& out)
+      THINAIR_REQUIRES(mu_);
+  void handle_nack(Session& s, const Frame& f, std::vector<Outgoing>& out)
+      THINAIR_REQUIRES(mu_);
   void handle_bye(std::uint64_t id, Session& s, const Frame& f,
-                  std::vector<Outgoing>& out);
-  void expire_session(std::uint64_t id, std::vector<Outgoing>& out);
+                  std::vector<Outgoing>& out) THINAIR_REQUIRES(mu_);
+  void expire_session(std::uint64_t id, std::vector<Outgoing>& out)
+      THINAIR_REQUIRES(mu_);
 
   /// Relay `wire` to member `node`, stamping the per-member relay seq.
   void relay_to(std::uint64_t session_id, std::uint16_t node, Member& member,
-                Frame wire, std::vector<Outgoing>& out);
+                Frame wire, std::vector<Outgoing>& out) THINAIR_REQUIRES(mu_);
 
-  void account(Session& s, const Frame& f);
+  void account(Session& s, const Frame& f) THINAIR_REQUIRES(mu_);
   [[nodiscard]] static Frame make_control(FrameType type, std::uint64_t session,
                                           std::uint16_t node,
                                           std::uint32_t aux = 0);
 
-  HubConfig config_;
-  HubStats stats_;
-  std::unordered_map<std::uint64_t, Session> sessions_;
-  TimerWheel wheel_;
+  HubConfig config_;  // immutable after construction
+  HubStats stats_;    // per-line atomics, updated without the mutex
+  // The session table and expiry wheel are the hub's mutable core. The
+  // mutex makes the hub thread-safe for embedders (the single-threaded
+  // daemon pays one uncontended lock per datagram — noise against the
+  // recvfrom syscall) and, more importantly here, lets the thread-safety
+  // analysis machine-check that every handler runs with the table held:
+  // the erasure-draw determinism argument assumes kData frames are
+  // processed one at a time per session.
+  mutable util::Mutex mu_;
+  std::unordered_map<std::uint64_t, Session> sessions_ THINAIR_GUARDED_BY(mu_);
+  TimerWheel wheel_ THINAIR_GUARDED_BY(mu_);
 };
 
 }  // namespace thinair::netd

@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
-#include <mutex>
 
 #include "runtime/seed.h"
 #include "runtime/task_pool.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace thinair::runtime {
 
@@ -46,18 +47,25 @@ RunStats run_scenario(const Scenario& scenario, const RunOptions& options,
     // threads-1 pool workers: the submitting thread joins the sweep via
     // for_each_index instead of idling, so `threads` is the number of
     // threads actually running cases (and pushing into sink rings).
-    std::mutex err_mu;
-    std::exception_ptr first_error;
+    struct ErrBox {
+      util::Mutex mu;
+      std::exception_ptr first THINAIR_GUARDED_BY(mu);
+    } err;
     {
       TaskPool pool(threads - 1);
       pool.for_each_index(n_cases, [&](std::size_t i) {
         try {
           run_case(i);
         } catch (...) {
-          std::lock_guard lock(err_mu);
-          if (!first_error) first_error = std::current_exception();
+          util::MutexLock lock(&err.mu);
+          if (!err.first) err.first = std::current_exception();
         }
       });
+    }
+    std::exception_ptr first_error;
+    {
+      util::MutexLock lock(&err.mu);
+      first_error = err.first;
     }
     if (first_error) std::rethrow_exception(first_error);
   }

@@ -2,7 +2,6 @@
 
 #include <charconv>
 #include <chrono>
-#include <cstdio>
 #include <ostream>
 #include <stdexcept>
 #include <utility>
@@ -26,9 +25,14 @@ void append_escaped(std::string& out, const std::string& s) {
       case '\r': out += "\\r"; break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
+          // Fixed-width \u00XX by hand: printf-family formatting is banned
+          // in the NDJSON path (locale-sensitive; thinair_lint
+          // ndjson-float-format), and control chars only need two digits.
+          static constexpr char kHex[] = "0123456789abcdef";
+          const unsigned char u = static_cast<unsigned char>(c);
+          out += "\\u00";
+          out += kHex[u >> 4];
+          out += kHex[u & 0xf];
         } else {
           out += c;
         }
@@ -130,6 +134,10 @@ bool ResultSink::drain_rings() {
 }
 
 void ResultSink::drain_loop() {
+  // The drainer thread owns the reorder/format/summary state for its
+  // whole lifetime; the RoleLock makes that claim visible to the
+  // analysis (finish() reclaims the role only after joining us).
+  util::RoleLock role(&drainer_role_);
   int idle = 0;
   for (;;) {
     if (drain_rings()) {
@@ -241,13 +249,18 @@ void ResultSink::mark_truncated(std::size_t run_cases,
 
 void ResultSink::finish() {
   stop_drainer();
+  // The drainer is joined: this thread is the sole owner of its state
+  // from here on, so it may claim the role.
+  util::RoleLock role(&drainer_role_);
   // Lines emitted before a contract violation still reach the stream —
   // matching the old eager-writing sink's behaviour on error paths.
   flush_buffer();
   if (drain_error_) std::rethrow_exception(drain_error_);
-  if (!pending_.empty())
-    throw std::logic_error("ResultSink::finish: missing case " +
-                           std::to_string(next_emit_));
+  if (!pending_.empty()) {
+    std::string what = "ResultSink::finish: missing case ";
+    append_u64(what, next_emit_);
+    throw std::logic_error(what);
+  }
   if (ndjson_ != nullptr) {
     // A truncated run's per-group aggregates cover partial groups;
     // stamp that into the stream so downstream readers cannot mistake
@@ -273,11 +286,16 @@ std::size_t ResultSink::cases() const {
 }
 
 void ResultSink::print_summary(std::ostream& os) const {
+  // Valid only post-finish (documented contract): the caller is the sole
+  // owner of the drainer state, so claim the role for the walk.
+  util::RoleLock role(&drainer_role_);
   util::Table t({"group", "metric", "cases", "min", "mean", "stddev", "max"});
   for (const GroupSummary& g : groups_) {
     for (const auto& [name, summary] : g.metrics) {
+      std::string cases_str;
+      append_u64(cases_str, g.cases);
       t.add_row({g.group.empty() ? "(all)" : g.group, name,
-                 std::to_string(g.cases), util::fmt(summary.min(), 4),
+                 std::move(cases_str), util::fmt(summary.min(), 4),
                  util::fmt(summary.mean(), 4),
                  summary.count() > 1 ? util::fmt(summary.stddev(), 4) : "-",
                  util::fmt(summary.max(), 4)});

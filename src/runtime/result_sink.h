@@ -36,7 +36,9 @@
 
 #include "runtime/scenario.h"
 #include "runtime/spsc_ring.h"
+#include "util/mutex.h"
 #include "util/stats.h"
+#include "util/thread_annotations.h"
 
 namespace thinair::runtime {
 
@@ -91,8 +93,10 @@ class ResultSink {
   };
 
   /// Summaries in first-appearance (case-index) order. Valid once
-  /// finish() has returned.
+  /// finish() has returned — the caller then owns the drainer state, so
+  /// the accessor claims the (no-op) drainer role for the read.
   [[nodiscard]] const std::vector<GroupSummary>& summaries() const {
+    util::RoleLock role(&drainer_role_);
     return groups_;
   }
 
@@ -117,11 +121,12 @@ class ResultSink {
   static constexpr std::size_t kFlushBytes = 256 * 1024;
 
   [[nodiscard]] Ring& producer_ring();
-  void drain_loop();
-  bool drain_rings();
-  void accept(Record&& record);
-  void emit(const CaseSpec& spec, const CaseResult& result);
-  void flush_buffer();
+  void drain_loop() THINAIR_EXCLUDES(drainer_role_);
+  bool drain_rings() THINAIR_REQUIRES(drainer_role_);
+  void accept(Record&& record) THINAIR_REQUIRES(drainer_role_);
+  void emit(const CaseSpec& spec, const CaseResult& result)
+      THINAIR_REQUIRES(drainer_role_);
+  void flush_buffer() THINAIR_REQUIRES(drainer_role_);
   void stop_drainer();
 
   std::string scenario_name_;
@@ -130,18 +135,28 @@ class ResultSink {
 
   // Producer registry: slots are claimed lock-free (fetch_add) by the
   // first push from each thread; the Ring* store/load pair
-  // (release/acquire) publishes the ring to the drainer.
+  // (release/acquire) publishes the ring to the drainer. This is the
+  // *worker-owned* half of the sink: nothing below it is ever touched
+  // from a push path.
   std::array<std::atomic<Ring*>, kMaxProducers> rings_{};
   std::atomic<std::size_t> n_rings_{0};
 
-  // Drainer-owned state; the main thread touches it only after the
-  // drainer is joined (finish()/destructor).
-  std::size_t next_emit_ = 0;
-  std::map<std::size_t, Record> pending_;
-  std::vector<GroupSummary> groups_;
-  std::string buffer_;
-  std::exception_ptr drain_error_;
+  // Drainer-owned state, guarded by an explicit single-owner capability:
+  // drain_loop() holds drainer_role_ for its lifetime, and finish()/the
+  // destructor reclaim it only after the drainer thread is joined (the
+  // join is the happens-before edge; the role makes the ownership split
+  // a compile-time property instead of a comment). Any access outside a
+  // region holding the role fails -Wthread-safety.
+  util::Role drainer_role_;
+  std::size_t next_emit_ THINAIR_GUARDED_BY(drainer_role_) = 0;
+  std::map<std::size_t, Record> pending_ THINAIR_GUARDED_BY(drainer_role_);
+  std::vector<GroupSummary> groups_ THINAIR_GUARDED_BY(drainer_role_);
+  std::string buffer_ THINAIR_GUARDED_BY(drainer_role_);
+  std::exception_ptr drain_error_ THINAIR_GUARDED_BY(drainer_role_);
 
+  // Written by mark_truncated() strictly before finish() joins the
+  // drainer (main thread only), read by the drainer's final emit — the
+  // ordering contract is "call before finish()", documented above.
   std::size_t truncated_plan_cases_ = 0;  // 0 = not truncated
   std::atomic<std::size_t> emitted_{0};
   std::atomic<bool> stop_{false};

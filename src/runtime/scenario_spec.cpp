@@ -2,7 +2,6 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -15,6 +14,8 @@
 #include "runtime/seed.h"
 #include "testbed/experiment.h"
 #include "testbed/placements.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace thinair::runtime {
 
@@ -141,12 +142,15 @@ namespace {
 // 630-element placement vector 1971 times inside the parallel hot path.
 const std::vector<testbed::Placement>& cached_placements(
     std::size_t n, std::size_t max_placements) {
-  static std::mutex mu;
-  static std::map<std::pair<std::size_t, std::size_t>,
-                  std::vector<testbed::Placement>>
-      cache;
-  std::lock_guard lock(mu);
-  auto [it, inserted] = cache.try_emplace({n, max_placements});
+  struct Cache {
+    util::Mutex mu;
+    std::map<std::pair<std::size_t, std::size_t>,
+             std::vector<testbed::Placement>>
+        map THINAIR_GUARDED_BY(mu);
+  };
+  static Cache cache;
+  util::MutexLock lock(&cache.mu);
+  auto [it, inserted] = cache.map.try_emplace({n, max_placements});
   if (inserted) it->second = testbed::sample_placements(n, max_placements);
   return it->second;
 }

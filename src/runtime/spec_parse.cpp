@@ -240,8 +240,13 @@ EstimatorSeries parse_series_item(const std::string& path,
 
 std::string serialize_series_item(const EstimatorSeries& series) {
   std::string out(core::to_string(series.kind));
-  if (series.max_placements != 0)
-    out += ":" + std::to_string(series.max_placements);
+  if (series.max_placements != 0) {
+    // Append piecewise: `out += ":" + std::to_string(...)` trips gcc 12's
+    // -Wrestrict false positive (PR 105329) once inlined into the
+    // serializer, and the warning set is promoted to errors in CI.
+    out += ':';
+    out += std::to_string(series.max_placements);
+  }
   return quote(out);
 }
 

@@ -49,8 +49,8 @@ class SpscRing {
   [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
 
   /// Producer side. False when the ring is full; `value` is untouched
-  /// on failure.
-  bool try_push(T&& value) {
+  /// on failure — dropping the result silently loses the element.
+  [[nodiscard]] bool try_push(T&& value) {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - cached_head_ == capacity()) {
       cached_head_ = head_.load(std::memory_order_acquire);
@@ -67,8 +67,8 @@ class SpscRing {
     while (!try_push(std::move(value))) std::this_thread::yield();
   }
 
-  /// Consumer side. False when the ring is empty.
-  bool try_pop(T& out) {
+  /// Consumer side. False when the ring is empty (`out` untouched).
+  [[nodiscard]] bool try_pop(T& out) {
     const std::size_t head = head_.load(std::memory_order_relaxed);
     if (head == cached_tail_) {
       cached_tail_ = tail_.load(std::memory_order_acquire);

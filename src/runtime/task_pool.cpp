@@ -22,7 +22,7 @@ TaskPool::TaskPool(std::size_t threads) {
 TaskPool::~TaskPool() {
   wait_idle();
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(&mu_);
     stop_ = true;
   }
   wake_.notify_all();
@@ -32,27 +32,27 @@ TaskPool::~TaskPool() {
 void TaskPool::submit(std::function<void()> task) {
   std::size_t target;
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(&mu_);
     target = next_queue_++ % queues_.size();
     ++unfinished_;
   }
   {
-    std::lock_guard lock(queues_[target]->mu);
+    util::MutexLock lock(&queues_[target]->mu);
     queues_[target]->tasks.push_back(std::move(task));
   }
   {
     // unclaimed_ becomes visible only after the task is actually in its
     // queue, so a worker woken by the count below is guaranteed to find
     // it on a scan.
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(&mu_);
     ++unclaimed_;
   }
   wake_.notify_one();
 }
 
 void TaskPool::wait_idle() {
-  std::unique_lock lock(mu_);
-  idle_.wait(lock, [this] { return unfinished_ == 0; });
+  util::MutexLock lock(&mu_);
+  while (unfinished_ != 0) idle_.wait(mu_);
 }
 
 void TaskPool::for_each_index(std::size_t n,
@@ -73,7 +73,7 @@ void TaskPool::for_each_index(std::size_t n,
 bool TaskPool::try_pop(std::size_t self, std::function<void()>& out) {
   {  // Own queue first, oldest task (FIFO) — see the header for why.
     Queue& q = *queues_[self];
-    std::lock_guard lock(q.mu);
+    util::MutexLock lock(&q.mu);
     if (!q.tasks.empty()) {
       out = std::move(q.tasks.front());
       q.tasks.pop_front();
@@ -84,7 +84,7 @@ bool TaskPool::try_pop(std::size_t self, std::function<void()>& out) {
   // victim choice rotates instead of hammering queue 0.
   for (std::size_t k = 1; k < queues_.size(); ++k) {
     Queue& q = *queues_[(self + k) % queues_.size()];
-    std::lock_guard lock(q.mu);
+    util::MutexLock lock(&q.mu);
     if (!q.tasks.empty()) {
       out = std::move(q.tasks.front());
       q.tasks.pop_front();
@@ -101,8 +101,8 @@ void TaskPool::worker_loop(std::size_t self) {
       // it by decrementing. The claim guarantees the scan below finds a
       // task eventually (claims never exceed enqueued tasks), so no
       // polling timeout is needed and starved workers cost nothing.
-      std::unique_lock lock(mu_);
-      wake_.wait(lock, [this] { return stop_ || unclaimed_ > 0; });
+      util::MutexLock lock(&mu_);
+      while (!stop_ && unclaimed_ == 0) wake_.wait(mu_);
       if (stop_) return;
       --unclaimed_;
     }
@@ -111,7 +111,7 @@ void TaskPool::worker_loop(std::size_t self) {
     // miss it (a sibling may pop "ours" while we walk), so retry.
     while (!try_pop(self, task)) std::this_thread::yield();
     task();
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(&mu_);
     if (--unfinished_ == 0) idle_.notify_all();
   }
 }

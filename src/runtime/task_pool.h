@@ -18,16 +18,17 @@
 // from its index (runtime/seed.h) and reordering results by index
 // (runtime/result_sink.h), never from arrival order.
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include <atomic>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace thinair::runtime {
 
@@ -71,25 +72,29 @@ class TaskPool {
   // line would turn independent pops into coherence traffic. (Queues are
   // heap-allocated; alignas on the type carries through operator new.)
   struct alignas(64) Queue {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    util::Mutex mu;
+    std::deque<std::function<void()>> tasks THINAIR_GUARDED_BY(mu);
   };
 
   void worker_loop(std::size_t self);
-  bool try_pop(std::size_t self, std::function<void()>& out);
+  bool try_pop(std::size_t self, std::function<void()>& out)
+      THINAIR_EXCLUDES(mu_);
 
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> workers_;
 
   // The coordination block starts on its own line so the cold, read-only
   // vectors above it never bounce when workers sleep/wake.
-  alignas(64) std::mutex mu_;      // guards sleeping/waking + counters
-  std::condition_variable wake_;   // workers sleep here when starved
-  std::condition_variable idle_;   // wait_idle sleeps here
-  std::size_t unfinished_ = 0;     // submitted but not yet completed
-  std::size_t unclaimed_ = 0;      // enqueued but not yet popped by anyone
-  std::size_t next_queue_ = 0;     // round-robin submit cursor
-  bool stop_ = false;
+  alignas(64) util::Mutex mu_;  // guards sleeping/waking + counters
+  util::CondVar wake_;          // workers sleep here when starved
+  util::CondVar idle_;          // wait_idle sleeps here
+  // Submitted but not yet completed.
+  std::size_t unfinished_ THINAIR_GUARDED_BY(mu_) = 0;
+  // Enqueued but not yet popped by anyone.
+  std::size_t unclaimed_ THINAIR_GUARDED_BY(mu_) = 0;
+  // Round-robin submit cursor.
+  std::size_t next_queue_ THINAIR_GUARDED_BY(mu_) = 0;
+  bool stop_ THINAIR_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace thinair::runtime

@@ -16,10 +16,10 @@ namespace thinair::util {
 /// Parse `text` as a base-10 std::uint64_t. Returns false — leaving `out`
 /// untouched — unless `text` is one or more decimal digits whose value
 /// fits 64 bits.
-bool parse_u64(std::string_view text, std::uint64_t& out);
+[[nodiscard]] bool parse_u64(std::string_view text, std::uint64_t& out);
 
 /// parse_u64 plus an inclusive [min, max] range check.
-bool parse_u64_in(std::string_view text, std::uint64_t min,
-                  std::uint64_t max, std::uint64_t& out);
+[[nodiscard]] bool parse_u64_in(std::string_view text, std::uint64_t min,
+                                std::uint64_t max, std::uint64_t& out);
 
 }  // namespace thinair::util

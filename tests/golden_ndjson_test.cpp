@@ -17,6 +17,8 @@
 // kGolden table's format, and paste them below.
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -53,7 +55,7 @@ constexpr Golden kGolden[] = {
 
 // Restores the dispatched kernel after a test that overrides it.
 struct KernelGuard {
-  ~KernelGuard() { gf::set_active_kernel("auto"); }
+  ~KernelGuard() { std::ignore = gf::set_active_kernel("auto"); }
 };
 
 std::string run_ndjson(const std::string& scenario_name,

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include <algorithm>
 #include <cstring>
 #include <sstream>
@@ -34,7 +36,7 @@ std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
 
 // Restores the dispatched kernel after a test that overrides it.
 struct KernelGuard {
-  ~KernelGuard() { gf::set_active_kernel("auto"); }
+  ~KernelGuard() { std::ignore = gf::set_active_kernel("auto"); }
 };
 
 TEST(Kernels, RegistryHasScalarAndPortable) {

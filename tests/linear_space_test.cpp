@@ -73,7 +73,7 @@ TEST(LinearSpace, InsertRowsCountsIndependentOnes) {
 
 TEST(LinearSpace, ResidualRankIsEquivocation) {
   LinearSpace s(4);
-  s.insert_unit(0);
+  EXPECT_TRUE(s.insert_unit(0));
   Matrix secret(2, 4);
   secret.set(0, 0, kOne);  // fully known given unit 0
   secret.set(1, 3, kOne);  // unknown
@@ -84,8 +84,8 @@ TEST(LinearSpace, ResidualRankIsEquivocation) {
 
 TEST(LinearSpace, ResidualRankZeroWhenContained) {
   LinearSpace s(3);
-  s.insert(vec({1, 1, 0}));
-  s.insert(vec({0, 1, 1}));
+  EXPECT_TRUE(s.insert(vec({1, 1, 0})));
+  EXPECT_TRUE(s.insert(vec({0, 1, 1})));
   Matrix m(1, 3);
   m.set(0, 0, kOne);
   m.set(0, 2, kOne);  // (1,0,1) = (1,1,0)+(0,1,1)
@@ -94,8 +94,8 @@ TEST(LinearSpace, ResidualRankZeroWhenContained) {
 
 TEST(LinearSpace, BasisIsRowReducedAndSpansInserted) {
   LinearSpace s(4);
-  s.insert(vec({2, 4, 6, 8}));
-  s.insert(vec({0, 0, 5, 5}));
+  EXPECT_TRUE(s.insert(vec({2, 4, 6, 8})));
+  EXPECT_TRUE(s.insert(vec({0, 0, 5, 5})));
   const Matrix b = s.basis();
   EXPECT_EQ(b.rows(), 2u);
   EXPECT_TRUE(s.contains(vec({2, 4, 6, 8})));

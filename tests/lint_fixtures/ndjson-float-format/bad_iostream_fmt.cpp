@@ -1,0 +1,16 @@
+// Fixture: locale-sensitive number formatting in an emitter. Under
+// LC_NUMERIC=de_DE these print "0,5" instead of "0.5" and the golden
+// NDJSON hash breaks.
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+std::string emit(double rate, int cases) {
+  std::ostringstream os;                        // finding: ostringstream
+  os << std::setprecision(17) << rate;          // finding: setprecision
+  std::string line = os.str();
+  line += std::to_string(cases);                // finding: to_string
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", rate);  // finding: snprintf
+  return line + buf;
+}

@@ -1,0 +1,17 @@
+// Fixture: the approved formatter — std::to_chars is locale-independent
+// and round-trip exact (shortest representation), so output bytes are a
+// pure function of the value.
+#include <charconv>
+#include <string>
+
+void append_double(std::string& out, double value) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec == std::errc{}) out.append(buf, ptr);
+}
+
+void append_u64(std::string& out, unsigned long long value) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec == std::errc{}) out.append(buf, ptr);
+}

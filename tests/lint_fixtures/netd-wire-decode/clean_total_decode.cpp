@@ -1,0 +1,26 @@
+// Fixture: the approved shape — hand the whole datagram to wire::decode()
+// and consume only the typed frame it returns. Payload-field access on the
+// *decoded* frame is fine; the rule targets raw buffer bytes.
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wire {
+struct Frame {
+  std::uint16_t kind;
+  std::vector<std::uint8_t> payload;
+};
+struct DecodeResult {
+  bool ok;
+  Frame frame;
+};
+DecodeResult decode(std::span<const std::uint8_t> datagram);
+}  // namespace wire
+
+int classify(std::span<const std::uint8_t> dgram) {
+  const wire::DecodeResult decoded = wire::decode(dgram);
+  if (!decoded.ok) return -1;
+  const wire::Frame& f = decoded.frame;
+  if (f.payload.size() < 2) return -1;
+  return f.payload[0] | (f.payload[1] << 8);  // post-decode field: fine
+}

@@ -1,0 +1,14 @@
+// Fixture: raw allocation inside a per-round loop. Each new/malloc here is
+// a global-heap round trip the PayloadArena exists to amortise away.
+#include <cstdint>
+#include <cstdlib>
+
+void build_round(std::size_t n, std::size_t payload_bytes) {
+  for (std::size_t i = 0; i < n; ++i) {
+    auto* body = new std::uint8_t[payload_bytes];  // finding: raw new
+    void* scratch = std::malloc(payload_bytes);    // finding: malloc
+    body[0] = 1;
+    std::free(scratch);
+    delete[] body;
+  }
+}

@@ -1,0 +1,21 @@
+// Fixture: the approved shapes — arena bumps, containers sized outside the
+// loop, and identifiers that merely contain the banned words.
+#include <cstdint>
+#include <span>
+#include <vector>
+
+struct PayloadArena {
+  std::span<std::uint8_t> alloc_uninit(std::size_t n);
+};
+
+void build_round(PayloadArena& arena, std::size_t n, std::size_t bytes) {
+  std::vector<std::span<std::uint8_t>> payloads;
+  payloads.reserve(n);  // one container growth, outside the per-packet work
+  for (std::size_t i = 0; i < n; ++i) {
+    payloads.push_back(arena.alloc_uninit(bytes));  // bump-pointer carve
+  }
+  bool renewed = true;       // 'renewed' must not match the new rule
+  (void)renewed;
+  std::size_t smalloc = 0;   // nor 'smalloc' the malloc rule
+  (void)smalloc;
+}

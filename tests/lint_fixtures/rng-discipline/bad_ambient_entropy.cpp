@@ -1,0 +1,13 @@
+// Fixture: every banned way of minting ambient entropy. Any one of these
+// in src/ makes two runs with the same --seed diverge.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int draw_widths() {
+  std::srand(42);                     // finding: srand
+  int a = std::rand();                // finding: std::rand
+  std::random_device rd;              // finding: random_device
+  std::mt19937 gen(std::time(nullptr));  // finding: time-seeded engine
+  return a + static_cast<int>(rd()) + static_cast<int>(gen());
+}

@@ -1,0 +1,16 @@
+// Fixture: near-misses the rule must not fire on — deterministic seeded
+// engines, identifiers containing 'rand', and the project RNG itself.
+#include <cstdint>
+#include <random>
+
+struct Rng {
+  explicit Rng(std::uint64_t seed) : gen_(seed) {}  // explicit seed: fine
+  std::uint64_t next() { return gen_(); }
+  std::mt19937_64 gen_;
+};
+
+std::uint64_t rand_like_name(std::uint64_t operand) {
+  // 'operand', 'strand', 'randomize_label' must not match the rand() rule.
+  std::uint64_t strand = operand * 2;
+  return strand;
+}

@@ -1,0 +1,25 @@
+// Fixture: range-for over an unordered_map member — the canonical
+// determinism bug. Emission order would follow the hash table's bucket
+// layout, which varies across libstdc++ versions and load factors.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Hub {
+  std::unordered_map<std::uint64_t, std::string> sessions_;
+  std::unordered_set<std::uint32_t> members_;
+
+  void relay_all() {
+    for (const auto& [id, s] : sessions_) {  // finding: unordered iteration
+      (void)id;
+      (void)s;
+    }
+  }
+
+  void visit_members() {
+    for (auto it = members_.begin(); it != members_.end(); ++it) {  // finding
+      (void)*it;
+    }
+  }
+};

@@ -1,0 +1,30 @@
+// Fixture: the approved shapes. Ordered containers iterate fine; unordered
+// containers may be used for O(1) lookup/erase as long as nothing walks
+// them; a justified suppression silences a deliberate order-insensitive
+// walk (e.g. summing a counter).
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct Hub {
+  std::map<std::uint64_t, std::string> members_;          // ordered: fine
+  std::unordered_map<std::uint64_t, std::string> cache_;  // lookup only
+
+  void relay_all() {
+    for (const auto& [id, s] : members_) {  // std::map: deterministic order
+      (void)id;
+      (void)s;
+    }
+  }
+
+  bool lookup(std::uint64_t id) { return cache_.find(id) != cache_.end(); }
+
+  std::size_t total() {
+    std::size_t n = 0;
+    // Order-insensitive fold — justified suppression.
+    for (const auto& kv : cache_) n += kv.second.size();  // thinair-lint: allow(unordered-iteration)
+    return n;
+  }
+};

@@ -173,7 +173,7 @@ TEST_F(Paper32Example, OneZPacketRedistributesTwoSPacketsEmerge) {
   // of y2 would surface in the metric.
   gf::LinearSpace eve2(3);
   eve2.insert_rows(plan.h);
-  eve2.insert_unit(1);  // Eve somehow knows y2
+  EXPECT_TRUE(eve2.insert_unit(1));  // Eve somehow knows y2
   EXPECT_LT(eve2.residual_rank(plan.c), 2u);
 }
 

@@ -2,6 +2,8 @@
 // terminal-side evaluation, z-repair and s-agreement.
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "channel/rng.h"
 #include "core/phase1.h"
 #include "core/phase2.h"
@@ -178,7 +180,7 @@ TEST(Phase2, SecretIsUniformGivenZForIgnorantEve) {
   const gf::Matrix g = p1.build.pool.rows();
 
   gf::LinearSpace eve(9);
-  for (std::uint32_t i : f.eve) eve.insert_unit(i);
+  for (std::uint32_t i : f.eve) std::ignore = eve.insert_unit(i);
   if (plan.h.rows() > 0) eve.insert_rows(plan.h.mul(g));
   EXPECT_EQ(eve.residual_rank(plan.c.mul(g)), plan.group_size);
 }
@@ -221,7 +223,7 @@ TEST_P(PhaseSweep, EndToEndAgreementAndSecrecy) {
   }
 
   gf::LinearSpace eve_space(n);
-  for (std::uint32_t i : eve) eve_space.insert_unit(i);
+  for (std::uint32_t i : eve) std::ignore = eve_space.insert_unit(i);
   const gf::Matrix g = p1.build.pool.rows();
   if (plan.h.rows() > 0) eve_space.insert_rows(plan.h.mul(g));
   EXPECT_EQ(eve_space.residual_rank(plan.c.mul(g)), plan.group_size);

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "channel/rng.h"
 #include "gf/linear_space.h"
 
@@ -86,7 +88,7 @@ TEST(BuildPool, OraclePoolIsJointlyUniformForEve) {
   const PoolBuildResult r = build_pool(t, est, PoolStrategy::kClassShared);
 
   gf::LinearSpace eve_space(9);
-  for (std::uint32_t i : eve) eve_space.insert_unit(i);
+  for (std::uint32_t i : eve) std::ignore = eve_space.insert_unit(i);
   EXPECT_EQ(eve_space.residual_rank(r.pool.rows()), r.pool.size());
 }
 
@@ -279,7 +281,7 @@ TEST_P(OraclePoolSweep, JointUniformityHolds) {
   const PoolBuildResult r = build_pool(t, est, PoolStrategy::kClassShared);
 
   gf::LinearSpace eve_space(n);
-  for (std::uint32_t i : eve) eve_space.insert_unit(i);
+  for (std::uint32_t i : eve) std::ignore = eve_space.insert_unit(i);
   EXPECT_EQ(eve_space.residual_rank(r.pool.rows()), r.pool.size());
 }
 
