@@ -100,6 +100,57 @@ struct PushLatency {
   double p99_ns = 0.0;
 };
 
+struct ReorderProbe {
+  std::size_t block = 0;
+  std::size_t cases = 0;
+  double cases_per_s = 0.0;
+  runtime::ResultSink::ReorderStats stats;
+};
+
+// Forces the reorder buffer to do real work: cases are pushed in
+// block-reversed order (each kBlock-sized block back to front), so the
+// drainer must park kBlock-1 records before the block's first index
+// arrives and unblocks emission. Because the drainer pops pushes in
+// order, the pending high-water mark is exactly kBlock-1 — and the
+// blocks after the first should be served almost entirely from the
+// slab arena's free list (the previous block's nodes), which is what
+// the slab_* stats in BENCH_engine.json pin.
+ReorderProbe measure_reorder(std::size_t cases) {
+  constexpr std::size_t kBlock = 4096;
+  NullBuf buf;
+  std::ostream null_stream(&buf);
+  runtime::ResultSink sink("reorder_probe", &null_stream);
+  runtime::CaseResult result{"g", {{"u", 0.5}}};
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t block = 0; block < cases; block += kBlock) {
+    const std::size_t end = std::min(block + kBlock, cases);
+    for (std::size_t i = end; i > block; --i) {
+      runtime::CaseSpec spec{i - 1, (i - 1) * 0x9e3779b97f4a7c15ull,
+                             {{"i", static_cast<double>(i - 1)}}};
+      sink.push(spec, result);
+    }
+  }
+  sink.finish();
+  const auto t1 = std::chrono::steady_clock::now();
+  if (sink.cases() != cases) {
+    std::fprintf(stderr, "micro_engine: reorder probe lost cases\n");
+    std::exit(1);
+  }
+  ReorderProbe probe;
+  probe.block = kBlock;
+  probe.cases = cases;
+  probe.cases_per_s = static_cast<double>(cases) /
+                      std::chrono::duration<double>(t1 - t0).count();
+  probe.stats = sink.reorder_stats();
+  if (probe.stats.peak_pending + 1 < std::min(kBlock, cases)) {
+    std::fprintf(stderr,
+                 "micro_engine: reorder peak %zu below the forced window\n",
+                 probe.stats.peak_pending);
+    std::exit(1);
+  }
+  return probe;
+}
+
 PushLatency measure_push(std::size_t samples) {
   NullBuf buf;
   std::ostream null_stream(&buf);
@@ -160,6 +211,14 @@ int main(int argc, char** argv) {
   std::printf("push latency over %zu samples: p50 %.0f ns, p99 %.0f ns\n",
               opt.push_samples, push.p50_ns, push.p99_ns);
 
+  const ReorderProbe reorder = measure_reorder(opt.cases);
+  std::printf(
+      "reorder probe (block %zu): %12.0f cases/s, peak pending %zu, "
+      "slab %zu chunk(s) / %zu KiB, %zu acquires, %zu freelist hits\n",
+      reorder.block, reorder.cases_per_s, reorder.stats.peak_pending,
+      reorder.stats.slab.chunks, reorder.stats.slab.reserved_bytes / 1024,
+      reorder.stats.slab.acquires, reorder.stats.slab.freelist_hits);
+
   std::vector<double> cases_per_s(thread_counts.size(), 0.0);
   for (std::size_t k = 0; k < thread_counts.size(); ++k) {
     for (int rep = 0; rep < opt.reps; ++rep)  // best-of: shed scheduler noise
@@ -194,9 +253,22 @@ int main(int argc, char** argv) {
                  k + 1 < thread_counts.size() ? "," : "");
   std::fprintf(f,
                "  ],\n"
-               "  \"speedup_max_vs_1\": %.3f\n"
+               "  \"speedup_max_vs_1\": %.3f,\n"
+               "  \"reorder\": {\n"
+               "    \"block\": %zu,\n"
+               "    \"cases\": %zu,\n"
+               "    \"cases_per_s\": %.1f,\n"
+               "    \"peak_pending\": %zu,\n"
+               "    \"slab_chunks\": %zu,\n"
+               "    \"slab_reserved_bytes\": %zu,\n"
+               "    \"slab_acquires\": %zu,\n"
+               "    \"slab_freelist_hits\": %zu\n"
+               "  }\n"
                "}\n",
-               speedup);
+               speedup, reorder.block, reorder.cases, reorder.cases_per_s,
+               reorder.stats.peak_pending, reorder.stats.slab.chunks,
+               reorder.stats.slab.reserved_bytes, reorder.stats.slab.acquires,
+               reorder.stats.slab.freelist_hits);
   std::fclose(f);
   std::printf("wrote %s\n", path);
   return 0;

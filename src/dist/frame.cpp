@@ -1,0 +1,310 @@
+#include "dist/frame.h"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace thinair::dist {
+
+namespace {
+
+// ---------------------------------------------------------------- encode
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void put_string(std::vector<std::uint8_t>& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+// ---------------------------------------------------------------- decode
+
+/// Bounds-checked sequential reader over one frame body. Every take_*
+/// checks the remaining length first; ok() goes false (and stays false)
+/// on the first out-of-bounds read, which decode_frame maps to
+/// kMalformed. This cursor is the single place raw body indices live.
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> body) : body_(body) {}
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool at_end() const { return pos_ == body_.size(); }
+
+  std::uint8_t take_u8() {
+    if (!check(1)) return 0;
+    return body_[pos_++];
+  }
+
+  std::uint32_t take_u32() {
+    if (!check(4)) return 0;
+    std::uint32_t v = 0;
+    v |= static_cast<std::uint32_t>(body_[pos_ + 0]);
+    v |= static_cast<std::uint32_t>(body_[pos_ + 1]) << 8;
+    v |= static_cast<std::uint32_t>(body_[pos_ + 2]) << 16;
+    v |= static_cast<std::uint32_t>(body_[pos_ + 3]) << 24;
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t take_u64() {
+    const std::uint64_t lo = take_u32();
+    const std::uint64_t hi = take_u32();
+    return lo | (hi << 32);
+  }
+
+  std::string take_string() {
+    const std::uint32_t len = take_u32();
+    if (!check(len)) return {};
+    std::string s(reinterpret_cast<const char*>(body_.data()) + pos_, len);
+    pos_ += len;
+    return s;
+  }
+
+ private:
+  bool check(std::size_t n) {
+    if (!ok_ || body_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> body_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+DecodeResult fail(DecodeError error, std::size_t consumed = 0) {
+  DecodeResult r;
+  r.error = error;
+  r.consumed = consumed;
+  return r;
+}
+
+std::optional<Frame> decode_body(FrameType type, Cursor& c) {
+  Frame frame;
+  switch (type) {
+    case FrameType::kHello: {
+      HelloFrame f;
+      f.proto_version = c.take_u32();
+      f.master_seed = c.take_u64();
+      f.n_cases = c.take_u64();
+      f.spec_sha256 = c.take_string();
+      f.spec_text = c.take_string();
+      frame.body = std::move(f);
+      break;
+    }
+    case FrameType::kShard: {
+      ShardFrame f;
+      f.first = c.take_u64();
+      f.count = c.take_u64();
+      frame.body = f;
+      break;
+    }
+    case FrameType::kRecord: {
+      RecordFrame f;
+      f.case_index = c.take_u64();
+      f.group = c.take_string();
+      const std::uint32_t n_metrics = c.take_u32();
+      if (n_metrics > kMaxMetricsPerRecord) return std::nullopt;
+      f.metrics.reserve(c.ok() ? n_metrics : 0);
+      for (std::uint32_t i = 0; c.ok() && i < n_metrics; ++i) {
+        WireMetric m;
+        m.name = c.take_string();
+        m.value_bits = c.take_u64();
+        f.metrics.push_back(std::move(m));
+      }
+      frame.body = std::move(f);
+      break;
+    }
+    case FrameType::kShardDone: {
+      ShardDoneFrame f;
+      f.first = c.take_u64();
+      f.count = c.take_u64();
+      frame.body = f;
+      break;
+    }
+    case FrameType::kBye:
+      frame.body = ByeFrame{};
+      break;
+    case FrameType::kError: {
+      ErrorFrame f;
+      f.message = c.take_string();
+      frame.body = std::move(f);
+      break;
+    }
+  }
+  if (!c.ok()) return std::nullopt;
+  return frame;
+}
+
+}  // namespace
+
+std::string_view to_string(DecodeError e) {
+  switch (e) {
+    case DecodeError::kNone:
+      return "ok";
+    case DecodeError::kNeedMore:
+      return "incomplete frame";
+    case DecodeError::kOversized:
+      return "body length exceeds kMaxFrameBody";
+    case DecodeError::kBadType:
+      return "unknown frame type";
+    case DecodeError::kMalformed:
+      return "field runs past the declared body";
+    case DecodeError::kTrailing:
+      return "trailing bytes after the last field";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  std::vector<std::uint8_t> out;
+  // Placeholder length prefix, patched once the body is built.
+  put_u32(out, 0);
+  put_u8(out, static_cast<std::uint8_t>(frame.type()));
+  switch (frame.type()) {
+    case FrameType::kHello: {
+      const auto& f = std::get<HelloFrame>(frame.body);
+      put_u32(out, f.proto_version);
+      put_u64(out, f.master_seed);
+      put_u64(out, f.n_cases);
+      put_string(out, f.spec_sha256);
+      put_string(out, f.spec_text);
+      break;
+    }
+    case FrameType::kShard: {
+      const auto& f = std::get<ShardFrame>(frame.body);
+      put_u64(out, f.first);
+      put_u64(out, f.count);
+      break;
+    }
+    case FrameType::kRecord: {
+      const auto& f = std::get<RecordFrame>(frame.body);
+      if (f.metrics.size() > kMaxMetricsPerRecord)
+        throw std::invalid_argument("dist::encode_frame: too many metrics");
+      put_u64(out, f.case_index);
+      put_string(out, f.group);
+      put_u32(out, static_cast<std::uint32_t>(f.metrics.size()));
+      for (const WireMetric& m : f.metrics) {
+        put_string(out, m.name);
+        put_u64(out, m.value_bits);
+      }
+      break;
+    }
+    case FrameType::kShardDone: {
+      const auto& f = std::get<ShardDoneFrame>(frame.body);
+      put_u64(out, f.first);
+      put_u64(out, f.count);
+      break;
+    }
+    case FrameType::kBye:
+      break;
+    case FrameType::kError: {
+      const auto& f = std::get<ErrorFrame>(frame.body);
+      put_string(out, f.message);
+      break;
+    }
+  }
+  const std::size_t body_len = out.size() - kLengthPrefixBytes;
+  if (body_len > kMaxFrameBody)
+    throw std::invalid_argument("dist::encode_frame: body exceeds cap");
+  const auto len32 = static_cast<std::uint32_t>(body_len);
+  out[0] = static_cast<std::uint8_t>(len32);
+  out[1] = static_cast<std::uint8_t>(len32 >> 8);
+  out[2] = static_cast<std::uint8_t>(len32 >> 16);
+  out[3] = static_cast<std::uint8_t>(len32 >> 24);
+  return out;
+}
+
+DecodeResult decode_frame(std::span<const std::uint8_t> stream) {
+  if (stream.size() < kLengthPrefixBytes) return fail(DecodeError::kNeedMore);
+  std::uint32_t body_len = 0;
+  body_len |= static_cast<std::uint32_t>(stream[0]);
+  body_len |= static_cast<std::uint32_t>(stream[1]) << 8;
+  body_len |= static_cast<std::uint32_t>(stream[2]) << 16;
+  body_len |= static_cast<std::uint32_t>(stream[3]) << 24;
+  if (body_len > kMaxFrameBody) return fail(DecodeError::kOversized);
+  if (body_len < 1) return fail(DecodeError::kMalformed);  // no type byte
+  if (stream.size() - kLengthPrefixBytes < body_len)
+    return fail(DecodeError::kNeedMore);
+
+  const std::size_t total = kLengthPrefixBytes + body_len;
+  Cursor cursor(stream.subspan(kLengthPrefixBytes, body_len));
+  const std::uint8_t type = cursor.take_u8();
+  if (type > kMaxFrameType) return fail(DecodeError::kBadType, total);
+
+  std::optional<Frame> frame =
+      decode_body(static_cast<FrameType>(type), cursor);
+  if (!frame.has_value()) return fail(DecodeError::kMalformed, total);
+  if (!cursor.at_end()) return fail(DecodeError::kTrailing, total);
+
+  DecodeResult r;
+  r.frame = std::move(frame);
+  r.consumed = total;
+  return r;
+}
+
+void FrameReader::feed(std::span<const std::uint8_t> data) {
+  stream_.insert(stream_.end(), data.begin(), data.end());
+}
+
+std::optional<Frame> FrameReader::next() {
+  if (error_ != DecodeError::kNone) return std::nullopt;
+  DecodeResult r = decode_frame(
+      std::span<const std::uint8_t>(stream_).subspan(consumed_));
+  if (r.error == DecodeError::kNeedMore) {
+    // Compact so a long-lived connection does not accumulate the whole
+    // stream: drop the already-consumed prefix once it dominates.
+    if (consumed_ > 0 && consumed_ >= stream_.size() / 2) {
+      stream_.erase(stream_.begin(),
+                    stream_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+      consumed_ = 0;
+    }
+    return std::nullopt;
+  }
+  if (r.error != DecodeError::kNone) {
+    error_ = r.error;
+    return std::nullopt;
+  }
+  consumed_ += r.consumed;
+  return std::move(r.frame);
+}
+
+RecordFrame to_wire(std::size_t case_index,
+                    const runtime::CaseResult& result) {
+  RecordFrame record;
+  record.case_index = case_index;
+  record.group = result.group;
+  record.metrics.reserve(result.metrics.size());
+  for (const runtime::Metric& m : result.metrics)
+    record.metrics.push_back(
+        WireMetric{m.name, std::bit_cast<std::uint64_t>(m.value)});
+  return record;
+}
+
+runtime::CaseResult from_wire(const RecordFrame& record) {
+  runtime::CaseResult result;
+  result.group = record.group;
+  result.metrics.reserve(record.metrics.size());
+  for (const WireMetric& m : record.metrics)
+    result.metrics.push_back(
+        runtime::Metric{m.name, std::bit_cast<double>(m.value_bits)});
+  return result;
+}
+
+}  // namespace thinair::dist

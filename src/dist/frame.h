@@ -1,0 +1,184 @@
+#pragma once
+// The distributed-sweep shard protocol: length-prefixed frames over a
+// byte stream (TCP or a socketpair to a forked worker).
+//
+//   [u32 body_len LE][u8 type][body]
+//
+// Six frame types carry a whole master<->worker conversation: kHello
+// (spec handshake, both directions), kShard (a case range to run),
+// kRecord (one case's result), kShardDone, kBye and kError. Strings are
+// [u32 len LE][bytes]; doubles travel as their IEEE-754 bit pattern in a
+// u64, so a metric value re-materialises bit-exactly on the master and
+// the merged NDJSON cannot differ from a single-process run.
+//
+// Decoding is strict and total, the same discipline the netd wire codec
+// sets (src/netd/wire.h) and thinair_lint.py's netd-wire-decode rule
+// enforces: decode_frame() never throws, never reads out of bounds, and
+// classifies every malformed input. kNeedMore is the one non-fatal
+// verdict — a stream buffer that ends mid-frame just needs more bytes.
+// Everything outside this codec handles Frame values, never raw stream
+// indices; the lint rule holds src/dist/ to that.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "runtime/scenario.h"
+
+namespace thinair::dist {
+
+inline constexpr std::uint32_t kProtoVersion = 1;
+/// Bytes of the body-length prefix in front of every frame.
+inline constexpr std::size_t kLengthPrefixBytes = 4;
+/// Hard cap on one frame's body (type byte + fields). Sized for kHello's
+/// serialized spec text (specs are a few KiB) with two orders of margin;
+/// a length prefix past this is a protocol violation, not a big frame.
+inline constexpr std::size_t kMaxFrameBody = 1 << 20;
+/// Bound on metrics per kRecord — scenarios emit a handful; a count past
+/// this is malformed input, not a real record.
+inline constexpr std::size_t kMaxMetricsPerRecord = 4096;
+
+enum class FrameType : std::uint8_t {
+  kHello = 0,      // master -> worker: spec + seed; worker -> master: ack
+  kShard = 1,      // master -> worker: run cases [first, first + count)
+  kRecord = 2,     // worker -> master: one case's result
+  kShardDone = 3,  // worker -> master: every record of the shard was sent
+  kBye = 4,        // master -> worker: run complete, exit cleanly
+  kError = 5,      // either direction: fatal, close the connection
+};
+inline constexpr std::uint8_t kMaxFrameType = 5;
+
+/// Spec handshake. Master -> worker carries the run parameters and the
+/// canonical spec text; the worker parses it, re-serializes, and replies
+/// with the SHA-256 of what *it* would describe — so a worker binary
+/// whose parse/serialize round-trip disagrees with the master's (version
+/// skew, spec-semantics drift) fails the handshake instead of silently
+/// computing different cases.
+struct HelloFrame {
+  std::uint32_t proto_version = kProtoVersion;
+  std::uint64_t master_seed = 0;  // master -> worker only; 0 in replies
+  std::uint64_t n_cases = 0;      // cases this run covers (after --limit)
+  std::string spec_sha256;        // sha256_hex of the canonical spec text
+  std::string spec_text;          // master -> worker only; empty in replies
+
+  friend bool operator==(const HelloFrame&, const HelloFrame&) = default;
+};
+
+struct ShardFrame {
+  std::uint64_t first = 0;
+  std::uint64_t count = 0;
+
+  friend bool operator==(const ShardFrame&, const ShardFrame&) = default;
+};
+
+/// One metric on the wire: the name plus the value's bit pattern
+/// (std::bit_cast<std::uint64_t>(double) — exact, NaN-safe).
+struct WireMetric {
+  std::string name;
+  std::uint64_t value_bits = 0;
+
+  friend bool operator==(const WireMetric&, const WireMetric&) = default;
+};
+
+/// One case's result. Only (index, group, metrics) travel: the master
+/// recomputes the parameter point and seed from its own plan, so the
+/// frame stays small and the merged output cannot depend on a worker's
+/// idea of the plan.
+struct RecordFrame {
+  std::uint64_t case_index = 0;
+  std::string group;
+  std::vector<WireMetric> metrics;
+
+  friend bool operator==(const RecordFrame&, const RecordFrame&) = default;
+};
+
+struct ShardDoneFrame {
+  std::uint64_t first = 0;
+  std::uint64_t count = 0;
+
+  friend bool operator==(const ShardDoneFrame&,
+                         const ShardDoneFrame&) = default;
+};
+
+struct ByeFrame {
+  friend bool operator==(const ByeFrame&, const ByeFrame&) = default;
+};
+
+struct ErrorFrame {
+  std::string message;
+
+  friend bool operator==(const ErrorFrame&, const ErrorFrame&) = default;
+};
+
+/// A decoded frame. The variant index is the FrameType by construction
+/// (the alternatives are declared in enum order).
+struct Frame {
+  std::variant<HelloFrame, ShardFrame, RecordFrame, ShardDoneFrame, ByeFrame,
+               ErrorFrame>
+      body;
+
+  [[nodiscard]] FrameType type() const {
+    return static_cast<FrameType>(body.index());
+  }
+
+  friend bool operator==(const Frame&, const Frame&) = default;
+};
+
+enum class DecodeError : std::uint8_t {
+  kNone = 0,
+  kNeedMore,   // buffer ends mid-frame — feed more bytes, not an error
+  kOversized,  // length prefix exceeds kMaxFrameBody
+  kBadType,    // type byte > kMaxFrameType
+  kMalformed,  // a field runs past the declared body or breaks a bound
+  kTrailing,   // fields end before the declared body does
+};
+
+[[nodiscard]] std::string_view to_string(DecodeError e);
+
+struct DecodeResult {
+  std::optional<Frame> frame;  // engaged iff error == kNone
+  std::size_t consumed = 0;    // bytes to drop from the stream front
+  DecodeError error = DecodeError::kNone;
+};
+
+/// Serialize one frame (length prefix included). Throws
+/// std::invalid_argument if the body would exceed kMaxFrameBody.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+/// Decode one frame from the front of a stream buffer. Total: never
+/// throws, never reads out of bounds. kNeedMore means wait for more
+/// bytes; every other non-kNone verdict is a protocol violation and the
+/// connection must be dropped.
+[[nodiscard]] DecodeResult decode_frame(std::span<const std::uint8_t> stream);
+
+/// Accumulates stream bytes and yields complete frames — the only
+/// legitimate way for IO drivers to turn recv() bytes into frames.
+class FrameReader {
+ public:
+  void feed(std::span<const std::uint8_t> data);
+
+  /// Next complete frame, or nullopt when the buffered bytes end
+  /// mid-frame. After a protocol violation error() is set and next()
+  /// returns nullopt forever.
+  [[nodiscard]] std::optional<Frame> next();
+
+  [[nodiscard]] DecodeError error() const { return error_; }
+
+ private:
+  std::vector<std::uint8_t> stream_;
+  std::size_t consumed_ = 0;
+  DecodeError error_ = DecodeError::kNone;
+};
+
+/// CaseResult -> wire record (doubles to bit patterns).
+[[nodiscard]] RecordFrame to_wire(std::size_t case_index,
+                                  const runtime::CaseResult& result);
+
+/// Wire record -> CaseResult. Exact inverse of to_wire.
+[[nodiscard]] runtime::CaseResult from_wire(const RecordFrame& record);
+
+}  // namespace thinair::dist

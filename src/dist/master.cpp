@@ -1,0 +1,311 @@
+#include "dist/master.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "runtime/seed.h"
+#include "runtime/spec_parse.h"
+#include "util/sha256.h"
+
+namespace thinair::dist {
+
+namespace {
+
+std::string shard_name(const Shard& shard) {
+  // Built with += — gcc 12's -Wrestrict misfires on
+  // operator+(const char*, std::string&&) chains.
+  std::string name = "[";
+  name += std::to_string(shard.first);
+  name += ", ";
+  name += std::to_string(shard.first + shard.count);
+  name += ")";
+  return name;
+}
+
+}  // namespace
+
+SweepMaster::SweepMaster(const runtime::Scenario& scenario,
+                         const runtime::RunOptions& options,
+                         const MasterTuning& tuning,
+                         runtime::ResultSink* sink)
+    : sink_(sink),
+      master_seed_(options.master_seed),
+      timeout_s_(tuning.shard_timeout_s),
+      max_attempts_(std::max(tuning.max_shard_attempts, 1)) {
+  // Spec check before touching scenario.plan: a hand-written Scenario
+  // may carry an empty plan function alongside its null spec.
+  if (scenario.spec == nullptr)
+    throw std::invalid_argument(
+        "distributed run needs a spec-defined scenario (the spec is the "
+        "wire format); '" +
+        scenario.name + "' is hand-written");
+  plan_ = scenario.plan();
+  n_cases_ = plan_.size();
+  if (options.limit != 0 && options.limit < n_cases_)
+    n_cases_ = options.limit;
+  spec_text_ = runtime::serialize_spec(*scenario.spec);
+  spec_sha_ = util::sha256_hex(spec_text_);
+  const std::uint64_t shard_size =
+      tuning.shard_size != 0
+          ? tuning.shard_size
+          : default_shard_size(n_cases_, tuning.workers_hint);
+  for (const Shard& shard : make_shards(n_cases_, shard_size))
+    queue_.push_back(shard);
+  pushed_.assign(n_cases_, false);
+}
+
+void SweepMaster::on_worker_connected(WorkerId id, double now_s,
+                                      std::vector<MasterOutput>* out) {
+  (void)now_s;
+  workers_[id] = WorkerInfo{};
+  HelloFrame hello;
+  hello.proto_version = kProtoVersion;
+  hello.master_seed = master_seed_;
+  hello.n_cases = n_cases_;
+  hello.spec_sha256 = spec_sha_;
+  hello.spec_text = spec_text_;
+  out->push_back(MasterOutput{id, Frame{std::move(hello)}, failed_});
+}
+
+void SweepMaster::on_frame(WorkerId id, const Frame& frame, double now_s,
+                           std::vector<MasterOutput>* out) {
+  const auto it = workers_.find(id);
+  if (it == workers_.end() || it->second.state == WorkerState::kGone) return;
+  WorkerInfo& info = it->second;
+
+  switch (frame.type()) {
+    case FrameType::kHello: {
+      const auto& hello = std::get<HelloFrame>(frame.body);
+      if (info.state != WorkerState::kAwaitHello) {
+        drop_worker(id, out, "unexpected kHello");
+        break;
+      }
+      if (hello.proto_version != kProtoVersion) {
+        drop_worker(id, out,
+                    "protocol version mismatch: master " +
+                        std::to_string(kProtoVersion) + ", worker " +
+                        std::to_string(hello.proto_version));
+        break;
+      }
+      if (hello.spec_sha256 != spec_sha_) {
+        drop_worker(id, out,
+                    "spec hash mismatch (worker round-trips the spec to "
+                    "different bytes — binary or grammar skew)");
+        break;
+      }
+      info.state = WorkerState::kIdle;
+      assign_or_idle(id, now_s, out);
+      break;
+    }
+    case FrameType::kRecord: {
+      const auto& record = std::get<RecordFrame>(frame.body);
+      if (info.state != WorkerState::kRunning ||
+          record.case_index < info.shard.first ||
+          record.case_index >= info.shard.first + info.shard.count) {
+        const Shard shard = info.shard;
+        const bool was_running = info.state == WorkerState::kRunning;
+        drop_worker(id, out, "kRecord outside the assigned shard");
+        if (was_running) forfeit_shard(shard, now_s, out);
+        break;
+      }
+      accept_record(id, record, now_s, out);
+      break;
+    }
+    case FrameType::kShardDone: {
+      const auto& done_frame = std::get<ShardDoneFrame>(frame.body);
+      if (info.state != WorkerState::kRunning ||
+          done_frame.first != info.shard.first ||
+          done_frame.count != info.shard.count) {
+        const Shard shard = info.shard;
+        const bool was_running = info.state == WorkerState::kRunning;
+        drop_worker(id, out, "kShardDone does not match the assigned shard");
+        if (was_running) forfeit_shard(shard, now_s, out);
+        break;
+      }
+      if (!shard_complete(info.shard)) {
+        // Stream order guarantees every record precedes its kShardDone,
+        // so an incomplete shard here means the worker skipped cases.
+        const Shard shard = info.shard;
+        drop_worker(id, out, "kShardDone with missing records");
+        forfeit_shard(shard, now_s, out);
+        break;
+      }
+      shard_s_.push_back(now_s - info.assigned_at);
+      info.state = WorkerState::kIdle;
+      assign_or_idle(id, now_s, out);
+      break;
+    }
+    case FrameType::kError: {
+      const auto& err = std::get<ErrorFrame>(frame.body);
+      const Shard shard = info.shard;
+      const bool was_running = info.state == WorkerState::kRunning;
+      info.state = WorkerState::kGone;
+      out->push_back(MasterOutput{id, Frame{ByeFrame{}}, true});
+      if (was_running) forfeit_shard(shard, now_s, out);
+      if (!done() && !failed_ && live_workers() == 0)
+        fail_run("worker reported: " + err.message, out);
+      break;
+    }
+    case FrameType::kShard:
+    case FrameType::kBye: {
+      const Shard shard = info.shard;
+      const bool was_running = info.state == WorkerState::kRunning;
+      drop_worker(id, out, "unexpected frame type from worker");
+      if (was_running) forfeit_shard(shard, now_s, out);
+      break;
+    }
+  }
+
+  if (!done() && !failed_ && live_workers() == 0)
+    fail_run("no workers left with " +
+                 std::to_string(n_cases_ - n_pushed_) +
+                 " case(s) outstanding",
+             out);
+}
+
+void SweepMaster::on_worker_closed(WorkerId id, double now_s,
+                                   std::vector<MasterOutput>* out) {
+  const auto it = workers_.find(id);
+  if (it == workers_.end() || it->second.state == WorkerState::kGone) return;
+  const bool was_running = it->second.state == WorkerState::kRunning;
+  const Shard shard = it->second.shard;
+  it->second.state = WorkerState::kGone;
+  if (was_running) forfeit_shard(shard, now_s, out);
+  if (!done() && !failed_ && live_workers() == 0)
+    fail_run("no workers left with " +
+                 std::to_string(n_cases_ - n_pushed_) +
+                 " case(s) outstanding",
+             out);
+}
+
+void SweepMaster::on_tick(double now_s, std::vector<MasterOutput>* out) {
+  if (failed_ || timeout_s_ <= 0.0) return;
+  // Collect first: forfeit/drop mutate workers_ state (not the map
+  // itself, but keep the scan free of reentrancy anyway).
+  std::vector<WorkerId> timed_out;
+  for (const auto& [id, info] : workers_)
+    if (info.state == WorkerState::kRunning &&
+        now_s - info.assigned_at > timeout_s_)
+      timed_out.push_back(id);
+  for (WorkerId id : timed_out) {
+    const Shard shard = workers_[id].shard;
+    drop_worker(id, out,
+                "shard " + shard_name(shard) + " timed out after " +
+                    std::to_string(timeout_s_) + "s");
+    forfeit_shard(shard, now_s, out);
+  }
+  if (!timed_out.empty() && !done() && !failed_ && live_workers() == 0)
+    fail_run("no workers left with " +
+                 std::to_string(n_cases_ - n_pushed_) +
+                 " case(s) outstanding",
+             out);
+}
+
+void SweepMaster::assign_or_idle(WorkerId id, double now_s,
+                                 std::vector<MasterOutput>* out) {
+  if (failed_) return;
+  WorkerInfo& info = workers_[id];
+  if (queue_.empty()) {
+    if (done() && !bye_sent_) broadcast_bye(out);
+    return;
+  }
+  const Shard shard = queue_.front();
+  queue_.pop_front();
+  ++attempts_[shard.first];
+  info.state = WorkerState::kRunning;
+  info.shard = shard;
+  info.assigned_at = now_s;
+  out->push_back(
+      MasterOutput{id, Frame{ShardFrame{shard.first, shard.count}}, false});
+}
+
+void SweepMaster::forfeit_shard(const Shard& shard, double now_s,
+                                std::vector<MasterOutput>* out) {
+  if (failed_ || shard.count == 0 || shard_complete(shard)) return;
+  if (attempts_[shard.first] >= max_attempts_) {
+    fail_run("shard " + shard_name(shard) + " failed after " +
+                 std::to_string(attempts_[shard.first]) + " attempt(s)",
+             out);
+    return;
+  }
+  // Front of the queue: the retry runs next, so a sick shard fails fast
+  // instead of hiding behind the healthy backlog.
+  queue_.push_front(shard);
+  // Hand it to an idle survivor immediately — without this the shard
+  // would wait for the next kShardDone, and if every other worker is
+  // already drained (queue empty, run almost done) it would wait
+  // forever.
+  for (auto& [wid, winfo] : workers_) {
+    if (winfo.state != WorkerState::kIdle) continue;
+    assign_or_idle(wid, now_s, out);
+    break;
+  }
+}
+
+void SweepMaster::accept_record(WorkerId id, const RecordFrame& record,
+                                double now_s,
+                                std::vector<MasterOutput>* out) {
+  const auto index = static_cast<std::size_t>(record.case_index);
+  if (pushed_[index]) return;  // duplicate from a reassigned shard
+  runtime::CaseSpec spec;
+  spec.index = index;
+  spec.seed = runtime::derive_seed(master_seed_, index);
+  spec.params = plan_.at(index);
+  sink_->push(spec, from_wire(record));
+  pushed_[index] = true;
+  ++n_pushed_;
+  if (done() && !bye_sent_) {
+    // The run completes on this record, not on its trailing kShardDone —
+    // the bye below retires every worker before that frame is read. Count
+    // the final shard's round trip here so shard_s_ covers all shards.
+    const auto it = workers_.find(id);
+    if (it != workers_.end() && it->second.state == WorkerState::kRunning)
+      shard_s_.push_back(now_s - it->second.assigned_at);
+    broadcast_bye(out);
+  }
+}
+
+void SweepMaster::fail_run(const std::string& why,
+                           std::vector<MasterOutput>* out) {
+  if (failed_) return;
+  failed_ = true;
+  error_ = why;
+  for (auto& [id, info] : workers_) {
+    if (info.state == WorkerState::kGone) continue;
+    info.state = WorkerState::kGone;
+    out->push_back(MasterOutput{id, Frame{ErrorFrame{why}}, true});
+  }
+}
+
+void SweepMaster::broadcast_bye(std::vector<MasterOutput>* out) {
+  bye_sent_ = true;
+  for (auto& [id, info] : workers_) {
+    if (info.state == WorkerState::kGone) continue;
+    info.state = WorkerState::kGone;
+    out->push_back(MasterOutput{id, Frame{ByeFrame{}}, true});
+  }
+}
+
+void SweepMaster::drop_worker(WorkerId id, std::vector<MasterOutput>* out,
+                              const std::string& message) {
+  WorkerInfo& info = workers_[id];
+  if (info.state == WorkerState::kGone) return;
+  info.state = WorkerState::kGone;
+  out->push_back(MasterOutput{id, Frame{ErrorFrame{message}}, true});
+}
+
+std::size_t SweepMaster::live_workers() const {
+  std::size_t live = 0;
+  for (const auto& [id, info] : workers_)
+    if (info.state != WorkerState::kGone) ++live;
+  return live;
+}
+
+bool SweepMaster::shard_complete(const Shard& shard) const {
+  for (std::uint64_t i = shard.first; i < shard.first + shard.count; ++i)
+    if (!pushed_[static_cast<std::size_t>(i)]) return false;
+  return true;
+}
+
+}  // namespace thinair::dist

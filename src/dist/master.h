@@ -1,0 +1,193 @@
+#pragma once
+// SweepMaster: the sans-io brain of a distributed sweep. It compiles
+// nothing and owns no sockets — an IO driver (dist/runner.cpp, or a test
+// harness feeding frames by hand) reports transport events and performs
+// the MasterOutput actions the master emits. The split mirrors
+// netd::SessionHub vs netd::Daemon: every scheduling decision lives here
+// where it is deterministic and unit-testable; the driver only moves
+// bytes.
+//
+// Protocol per worker: on connect the master sends kHello carrying the
+// canonical spec text, the master seed, the case count and the spec's
+// SHA-256; the worker replies kHello with the SHA-256 of its own
+// re-serialization (handshake — binary/spec skew fails fast). A
+// handshake-clean worker is then fed one shard at a time (bounded
+// in-flight work: workers x shard_size cases); each kShardDone hands it
+// the next shard until the queue drains. kBye goes out to everyone once
+// every case has been pushed.
+//
+// Fault policy: a worker that dies (connection closed), misbehaves
+// (protocol violation) or times out forfeits its shard; the shard goes
+// back to the *front* of the queue and is reassigned. Each shard gets
+// max_shard_attempts assignments, then the run fails loudly. Records are
+// deduplicated by case index — a reassigned shard re-runs whole, and any
+// records the first attempt already delivered are dropped — so retries
+// cannot violate the sink's push-exactly-once contract and the merged
+// bytes stay identical.
+//
+// Threading: single IO thread by contract. All state is guarded by a
+// util::Role claimed by the driver's loop (PR 8 idiom), so any touch
+// from outside the loop fails -Wthread-safety at compile time.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dist/frame.h"
+#include "dist/shard.h"
+#include "runtime/engine.h"
+#include "runtime/result_sink.h"
+#include "runtime/scenario.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace thinair::dist {
+
+using WorkerId = std::uint32_t;
+
+struct MasterTuning {
+  /// Cases per shard; 0 = default_shard_size(n_cases, workers_hint).
+  std::uint64_t shard_size = 0;
+  /// Expected worker count — only shapes the default shard size.
+  std::uint64_t workers_hint = 1;
+  /// A shard outstanding longer than this is reassigned and its worker
+  /// dropped. <= 0 disables the timeout.
+  double shard_timeout_s = 300.0;
+  /// Assignments one shard may consume before the run fails loudly.
+  int max_shard_attempts = 3;
+};
+
+/// One action the IO driver must perform on behalf of the master.
+struct MasterOutput {
+  WorkerId to = 0;
+  Frame frame;
+  bool close = false;  // drop the connection after writing the frame
+};
+
+class SweepMaster {
+ public:
+  /// `scenario` must have a spec (compile()-produced); `sink` receives
+  /// every case exactly once, in arbitrary order — its drainer reorders
+  /// by index, which is what makes the merged bytes identical to a
+  /// single-process run. Both must outlive the master. Throws
+  /// std::invalid_argument for a spec-less scenario.
+  SweepMaster(const runtime::Scenario& scenario,
+              const runtime::RunOptions& options, const MasterTuning& tuning,
+              runtime::ResultSink* sink);
+
+  // -- transport events, reported by the IO driver (all times are one
+  //    monotonic clock, seconds; tests pass synthetic values) --
+
+  void on_worker_connected(WorkerId id, double now_s,
+                           std::vector<MasterOutput>* out)
+      THINAIR_REQUIRES(loop_role_);
+
+  void on_frame(WorkerId id, const Frame& frame, double now_s,
+                std::vector<MasterOutput>* out) THINAIR_REQUIRES(loop_role_);
+
+  /// Connection closed (worker death, or driver-observed protocol
+  /// violation). Idempotent.
+  void on_worker_closed(WorkerId id, double now_s,
+                        std::vector<MasterOutput>* out)
+      THINAIR_REQUIRES(loop_role_);
+
+  /// Periodic timeout scan; call every poll-loop iteration.
+  void on_tick(double now_s, std::vector<MasterOutput>* out)
+      THINAIR_REQUIRES(loop_role_);
+
+  // -- results --
+
+  /// Every case pushed into the sink (the driver then finishes the sink).
+  [[nodiscard]] bool done() const THINAIR_REQUIRES(loop_role_) {
+    return n_pushed_ == n_cases_;
+  }
+  [[nodiscard]] bool failed() const THINAIR_REQUIRES(loop_role_) {
+    return failed_;
+  }
+  [[nodiscard]] const std::string& error() const
+      THINAIR_REQUIRES(loop_role_) {
+    return error_;
+  }
+  [[nodiscard]] std::size_t cases() const THINAIR_REQUIRES(loop_role_) {
+    return n_cases_;
+  }
+  [[nodiscard]] std::size_t plan_cases() const THINAIR_REQUIRES(loop_role_) {
+    return plan_.size();
+  }
+  /// Completed-shard round-trip times (assignment to kShardDone),
+  /// seconds — bench/micro_dist's p50/p99 source.
+  [[nodiscard]] const std::vector<double>& shard_round_trips_s() const
+      THINAIR_REQUIRES(loop_role_) {
+    return shard_s_;
+  }
+
+  /// The capability the IO loop claims (util::RoleLock) before calling
+  /// any event handler. THINAIR_RETURN_CAPABILITY lets the analysis
+  /// unify RoleLock(master.loop_role()) with the REQUIRES clauses above.
+  [[nodiscard]] const util::Role* loop_role() const
+      THINAIR_RETURN_CAPABILITY(loop_role_) {
+    return &loop_role_;
+  }
+
+ private:
+  enum class WorkerState : std::uint8_t {
+    kAwaitHello,  // kHello sent, reply outstanding
+    kIdle,        // handshake done, no shard assigned
+    kRunning,     // shard outstanding
+    kGone,        // closed / failed handshake / timed out
+  };
+
+  struct WorkerInfo {
+    WorkerState state = WorkerState::kAwaitHello;
+    Shard shard{};           // valid when kRunning
+    double assigned_at = 0;  // valid when kRunning
+  };
+
+  void assign_or_idle(WorkerId id, double now_s,
+                      std::vector<MasterOutput>* out)
+      THINAIR_REQUIRES(loop_role_);
+  void forfeit_shard(const Shard& shard, double now_s,
+                     std::vector<MasterOutput>* out)
+      THINAIR_REQUIRES(loop_role_);
+  void accept_record(WorkerId id, const RecordFrame& record, double now_s,
+                     std::vector<MasterOutput>* out)
+      THINAIR_REQUIRES(loop_role_);
+  void fail_run(const std::string& why, std::vector<MasterOutput>* out)
+      THINAIR_REQUIRES(loop_role_);
+  void broadcast_bye(std::vector<MasterOutput>* out)
+      THINAIR_REQUIRES(loop_role_);
+  void drop_worker(WorkerId id, std::vector<MasterOutput>* out,
+                   const std::string& message) THINAIR_REQUIRES(loop_role_);
+  [[nodiscard]] std::size_t live_workers() const
+      THINAIR_REQUIRES(loop_role_);
+  [[nodiscard]] bool shard_complete(const Shard& shard) const
+      THINAIR_REQUIRES(loop_role_);
+
+  util::Role loop_role_;
+
+  runtime::ResultSink* sink_ THINAIR_GUARDED_BY(loop_role_);
+  runtime::SweepPlan plan_ THINAIR_GUARDED_BY(loop_role_);
+  std::uint64_t master_seed_ THINAIR_GUARDED_BY(loop_role_);
+  std::size_t n_cases_ THINAIR_GUARDED_BY(loop_role_) = 0;
+  std::string spec_text_ THINAIR_GUARDED_BY(loop_role_);
+  std::string spec_sha_ THINAIR_GUARDED_BY(loop_role_);
+  double timeout_s_ THINAIR_GUARDED_BY(loop_role_);
+  int max_attempts_ THINAIR_GUARDED_BY(loop_role_);
+
+  std::map<WorkerId, WorkerInfo> workers_ THINAIR_GUARDED_BY(loop_role_);
+  std::deque<Shard> queue_ THINAIR_GUARDED_BY(loop_role_);
+  /// shard.first -> assignments so far (the retry cap's ledger).
+  std::map<std::uint64_t, int> attempts_ THINAIR_GUARDED_BY(loop_role_);
+  /// Case-index dedup for reassigned shards: pushed_[i] == case i is
+  /// already in the sink.
+  std::vector<bool> pushed_ THINAIR_GUARDED_BY(loop_role_);
+  std::size_t n_pushed_ THINAIR_GUARDED_BY(loop_role_) = 0;
+  std::vector<double> shard_s_ THINAIR_GUARDED_BY(loop_role_);
+  bool bye_sent_ THINAIR_GUARDED_BY(loop_role_) = false;
+  bool failed_ THINAIR_GUARDED_BY(loop_role_) = false;
+  std::string error_ THINAIR_GUARDED_BY(loop_role_);
+};
+
+}  // namespace thinair::dist

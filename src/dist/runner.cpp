@@ -1,0 +1,300 @@
+#include "dist/runner.h"
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "dist/frame.h"
+#include "dist/worker.h"
+#include "netd/poller.h"
+#include "util/mutex.h"
+
+namespace thinair::dist {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string self_exe() {
+  std::array<char, 4096> path{};
+  const ssize_t n =
+      ::readlink("/proc/self/exe", path.data(), path.size() - 1);
+  if (n <= 0) throw_errno("readlink(/proc/self/exe)");
+  return std::string(path.data(), static_cast<std::size_t>(n));
+}
+
+pid_t spawn_worker(const std::string& binary, int child_fd,
+                   std::size_t exit_after_records) {
+  std::vector<std::string> args = {binary, "sweep-worker", "--connect-fd",
+                                   std::to_string(child_fd)};
+  if (exit_after_records != 0) {
+    args.emplace_back("--exit-after-records");
+    args.emplace_back(std::to_string(exit_after_records));
+  }
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) throw_errno("fork");
+  if (pid == 0) {
+    ::execv(binary.c_str(), argv.data());
+    // exec failed — nothing sane to do in the child but vanish; the
+    // master sees the socket close and reassigns.
+    std::_Exit(127);
+  }
+  return pid;
+}
+
+struct Conn {
+  StreamSocket sock;
+  FrameReader reader;
+  bool open = true;
+};
+
+/// Drive `master` over the given connections until it is done or has
+/// failed. Claims the master's loop role for the duration — this thread
+/// IS the IO loop. Throws std::runtime_error on master failure.
+void run_master_loop(SweepMaster& master,
+                     std::map<WorkerId, Conn>& conns) {
+  const util::RoleLock role(master.loop_role());
+  netd::Poller poller;
+  std::map<int, WorkerId> by_fd;
+  std::vector<MasterOutput> out;
+  std::vector<int> ready;
+  std::array<std::uint8_t, 64 * 1024> scratch{};
+
+  const auto close_conn = [&](WorkerId id) {
+    Conn& conn = conns.at(id);
+    if (!conn.open) return;
+    poller.remove(conn.sock.fd());
+    by_fd.erase(conn.sock.fd());
+    conn.sock.close();
+    conn.open = false;
+  };
+
+  // Perform the master's queued actions. Index loop: handlers invoked
+  // on a send failure append to `out` while we iterate.
+  const auto flush = [&] {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const MasterOutput o = std::move(out[i]);
+      const auto it = conns.find(o.to);
+      if (it == conns.end() || !it->second.open) continue;
+      const std::vector<std::uint8_t> wire = encode_frame(o.frame);
+      if (!it->second.sock.send_all(wire)) {
+        close_conn(o.to);
+        master.on_worker_closed(o.to, now_s(), &out);
+        continue;
+      }
+      if (o.close) close_conn(o.to);
+    }
+    out.clear();
+  };
+
+  for (auto& [id, conn] : conns) {
+    poller.add(conn.sock.fd());
+    by_fd[conn.sock.fd()] = id;
+    master.on_worker_connected(id, now_s(), &out);
+  }
+  flush();
+
+  while (!master.done() && !master.failed()) {
+    ready.clear();
+    poller.wait(100, ready);
+    for (const int fd : ready) {
+      const auto fd_it = by_fd.find(fd);
+      if (fd_it == by_fd.end()) continue;
+      const WorkerId id = fd_it->second;
+      Conn& conn = conns.at(id);
+      if (!conn.open) continue;
+      const double now = now_s();
+      const std::size_t n = conn.sock.recv_some(scratch);
+      if (n == 0) {
+        close_conn(id);
+        master.on_worker_closed(id, now, &out);
+        continue;
+      }
+      conn.reader.feed(std::span<const std::uint8_t>(scratch.data(), n));
+      while (std::optional<Frame> frame = conn.reader.next())
+        master.on_frame(id, *frame, now, &out);
+      if (conn.reader.error() != DecodeError::kNone) {
+        close_conn(id);
+        master.on_worker_closed(id, now, &out);
+      }
+    }
+    master.on_tick(now_s(), &out);
+    flush();
+  }
+  flush();
+  for (auto& [id, conn] : conns)
+    if (conn.open) close_conn(id);
+
+  if (master.failed())
+    throw std::runtime_error("distributed run failed: " + master.error());
+}
+
+void reap(const std::vector<pid_t>& pids) {
+  // Workers exit on kBye or socket EOF; the kill-test worker is already
+  // gone. Exit statuses are deliberately ignored — the master's own
+  // bookkeeping (every case pushed exactly once) is the success signal.
+  for (const pid_t pid : pids) {
+    int status = 0;
+    (void)::waitpid(pid, &status, 0);
+  }
+}
+
+runtime::RunStats finish_stats(SweepMaster& master, runtime::ResultSink& sink,
+                               std::size_t workers, double t0) {
+  std::size_t cases = 0;
+  std::size_t plan_cases = 0;
+  {
+    const util::RoleLock role(master.loop_role());
+    cases = master.cases();
+    plan_cases = master.plan_cases();
+  }
+  if (cases < plan_cases) sink.mark_truncated(cases, plan_cases);
+  sink.finish();
+  runtime::RunStats stats;
+  stats.cases = cases;
+  stats.plan_cases = plan_cases;
+  stats.threads = workers;
+  stats.wall_s = now_s() - t0;
+  return stats;
+}
+
+}  // namespace
+
+runtime::RunStats run_distributed_local(
+    const runtime::Scenario& scenario, const runtime::RunOptions& options,
+    MasterTuning tuning, const LocalSpawnOptions& spawn,
+    runtime::ResultSink& sink, std::vector<double>* shard_round_trips_s) {
+  const double t0 = now_s();
+  std::size_t workers = std::max<std::size_t>(spawn.workers, 1);
+  tuning.workers_hint = workers;
+  SweepMaster master(scenario, options, tuning, &sink);
+
+  std::size_t cases = 0;
+  {
+    const util::RoleLock role(master.loop_role());
+    cases = master.cases();
+  }
+  // More workers than cases is pure fork overhead; like the engine's
+  // thread clamp this cannot change any output byte.
+  workers = std::min(workers, std::max<std::size_t>(cases, 1));
+
+  std::map<WorkerId, Conn> conns;
+  std::vector<pid_t> pids;
+  if (cases > 0) {
+    const std::string binary =
+        spawn.worker_binary.empty() ? self_exe() : spawn.worker_binary;
+    for (std::size_t i = 0; i < workers; ++i) {
+      SocketPair pair = make_socket_pair();
+      const std::size_t kill_after =
+          i == 0 ? spawn.kill_worker0_after_records : 0;
+      pids.push_back(spawn_worker(binary, pair.child.fd(), kill_after));
+      pair.child.close();  // only the worker may hold this end now
+      conns[static_cast<WorkerId>(i)] =
+          Conn{std::move(pair.parent), FrameReader{}, true};
+    }
+  }
+
+  try {
+    run_master_loop(master, conns);
+  } catch (...) {
+    conns.clear();  // EOF tells every surviving worker to exit
+    reap(pids);
+    throw;
+  }
+  conns.clear();
+  reap(pids);
+  if (shard_round_trips_s != nullptr) {
+    const util::RoleLock role(master.loop_role());
+    *shard_round_trips_s = master.shard_round_trips_s();
+  }
+  return finish_stats(master, sink, workers, t0);
+}
+
+runtime::RunStats run_distributed_listen(const runtime::Scenario& scenario,
+                                         const runtime::RunOptions& options,
+                                         MasterTuning tuning,
+                                         TcpListener& listener,
+                                         std::size_t expected_workers,
+                                         runtime::ResultSink& sink,
+                                         std::ostream* log) {
+  const double t0 = now_s();
+  const std::size_t workers = std::max<std::size_t>(expected_workers, 1);
+  tuning.workers_hint = workers;
+  SweepMaster master(scenario, options, tuning, &sink);
+
+  std::map<WorkerId, Conn> conns;
+  for (std::size_t i = 0; i < workers; ++i) {
+    conns[static_cast<WorkerId>(i)] =
+        Conn{listener.accept_one(), FrameReader{}, true};
+    if (log != nullptr)
+      *log << "sweep-master: worker " << i + 1 << "/" << workers
+           << " connected\n"
+           << std::flush;
+  }
+
+  run_master_loop(master, conns);
+  return finish_stats(master, sink, workers, t0);
+}
+
+int run_worker_on_fd(StreamSocket conn, std::size_t exit_after_records) {
+  SweepWorker worker;
+  FrameReader reader;
+  std::array<std::uint8_t, 64 * 1024> scratch{};
+  std::vector<Frame> replies;
+  std::size_t records_sent = 0;
+
+  while (!worker.finished()) {
+    const std::size_t n = conn.recv_some(scratch);
+    if (n == 0) return worker.finished() ? 0 : 1;  // master vanished
+    reader.feed(std::span<const std::uint8_t>(scratch.data(), n));
+    while (std::optional<Frame> frame = reader.next()) {
+      replies.clear();
+      worker.on_frame(*frame, &replies);
+      for (const Frame& reply : replies) {
+        if (!conn.send_all(encode_frame(reply))) return 1;
+        if (reply.type() == FrameType::kRecord) {
+          ++records_sent;
+          if (exit_after_records != 0 && records_sent >= exit_after_records) {
+            // Kill-test hook: die abruptly mid-shard, as a crashed or
+            // OOM-killed worker would. send() already handed the bytes
+            // to the kernel, so the master sees a partial shard + EOF.
+            std::_Exit(1);
+          }
+        }
+      }
+      if (worker.finished()) break;
+    }
+    if (reader.error() != DecodeError::kNone) return 2;
+  }
+  return worker.error().empty() ? 0 : 3;
+}
+
+int run_worker_connect(const std::string& host, std::uint16_t port,
+                       std::size_t exit_after_records) {
+  return run_worker_on_fd(tcp_connect(host, port), exit_after_records);
+}
+
+}  // namespace thinair::dist

@@ -1,0 +1,78 @@
+#pragma once
+// IO drivers for the distributed sweep — the only layer that owns
+// sockets, fork/exec and the poll loop. Everything decision-shaped
+// lives in the sans-io SweepMaster/SweepWorker cores; these functions
+// move bytes between them and the OS, mirroring how netd::Daemon wraps
+// netd::SessionHub.
+//
+//   run_distributed_local  — `thinair run NAME --workers N`: fork/exec
+//     N local worker processes of this same binary over AF_UNIX
+//     socketpairs, drive the master loop, reap the children.
+//   run_distributed_listen — `thinair sweep-master --listen`: accept N
+//     TCP workers, then the same master loop.
+//   run_worker_on_fd / run_worker_connect — `thinair sweep-worker`:
+//     the blocking worker loop over an inherited fd or a TCP connect.
+//
+// Determinism: the master pushes every record into the caller's
+// ResultSink, whose drainer re-orders by case index — so the NDJSON and
+// summaries are byte-identical to run_scenario() at any worker count,
+// with any shard size, and across worker deaths (the master dedups
+// retried cases). tests/cli_dist_smoke.sh pins this with cmp.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "dist/master.h"
+#include "dist/stream.h"
+#include "runtime/engine.h"
+#include "runtime/result_sink.h"
+#include "runtime/scenario.h"
+
+namespace thinair::dist {
+
+struct LocalSpawnOptions {
+  std::size_t workers = 1;
+  /// Worker executable; empty = this binary (/proc/self/exe).
+  std::string worker_binary;
+  /// Test hook (--test-kill-worker-after): worker 0 is spawned with
+  /// --exit-after-records K and dies mid-shard, exercising the
+  /// reassignment path deterministically. 0 = off.
+  std::size_t kill_worker0_after_records = 0;
+};
+
+/// Run `scenario` across `spawn.workers` forked local workers, feeding
+/// every case into `sink` (finished on return, like run_scenario).
+/// Throws std::runtime_error when the master fails (retry cap, all
+/// workers dead), std::system_error on transport errors. When
+/// `shard_round_trips_s` is non-null it receives every completed
+/// shard's assignment-to-done time (bench/micro_dist's p50/p99 source).
+runtime::RunStats run_distributed_local(
+    const runtime::Scenario& scenario, const runtime::RunOptions& options,
+    MasterTuning tuning, const LocalSpawnOptions& spawn,
+    runtime::ResultSink& sink,
+    std::vector<double>* shard_round_trips_s = nullptr);
+
+/// Accept `expected_workers` TCP connections on `listener`, then run
+/// the same master loop. `log` (may be null) gets one line per
+/// connected worker — the smoke test greps it.
+runtime::RunStats run_distributed_listen(const runtime::Scenario& scenario,
+                                         const runtime::RunOptions& options,
+                                         MasterTuning tuning,
+                                         TcpListener& listener,
+                                         std::size_t expected_workers,
+                                         runtime::ResultSink& sink,
+                                         std::ostream* log);
+
+/// Blocking worker loop over a connected stream. `exit_after_records`
+/// is the kill-test hook: after sending that many kRecord frames the
+/// process dies abruptly (std::_Exit) as if it crashed mid-shard.
+/// Returns a process exit code: 0 clean, nonzero on error or a master
+/// that vanished.
+int run_worker_on_fd(StreamSocket conn, std::size_t exit_after_records);
+
+/// TCP-connect variant of run_worker_on_fd.
+int run_worker_connect(const std::string& host, std::uint16_t port,
+                       std::size_t exit_after_records);
+
+}  // namespace thinair::dist

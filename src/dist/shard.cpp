@@ -1,0 +1,28 @@
+#include "dist/shard.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace thinair::dist {
+
+std::vector<Shard> make_shards(std::uint64_t n_cases,
+                               std::uint64_t shard_size) {
+  if (shard_size == 0)
+    throw std::invalid_argument("make_shards: shard_size must be > 0");
+  std::vector<Shard> shards;
+  shards.reserve(static_cast<std::size_t>((n_cases + shard_size - 1) /
+                                          shard_size));
+  for (std::uint64_t first = 0; first < n_cases; first += shard_size)
+    shards.push_back(Shard{first, std::min(shard_size, n_cases - first)});
+  return shards;
+}
+
+std::uint64_t default_shard_size(std::uint64_t n_cases,
+                                 std::uint64_t workers) {
+  const std::uint64_t w = std::max<std::uint64_t>(workers, 1);
+  // ~8 shards per worker; round up so tiny plans still get size >= 1.
+  const std::uint64_t target = (n_cases + w * 8 - 1) / (w * 8);
+  return std::clamp<std::uint64_t>(target, 1, 4096);
+}
+
+}  // namespace thinair::dist

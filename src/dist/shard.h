@@ -1,0 +1,35 @@
+#pragma once
+// Shard arithmetic for the distributed sweep: how a master cuts a
+// SweepPlan's dense case range [0, n) into contiguous work units. Pure
+// functions — tests/dist_test.cpp holds make_shards to an exact cover of
+// the range at every (n, shard_size) combination.
+
+#include <cstdint>
+#include <vector>
+
+namespace thinair::dist {
+
+/// One contiguous case range [first, first + count). `count` is never 0
+/// for shards produced by make_shards.
+struct Shard {
+  std::uint64_t first = 0;
+  std::uint64_t count = 0;
+
+  friend bool operator==(const Shard&, const Shard&) = default;
+};
+
+/// Cut [0, n_cases) into consecutive shards of `shard_size` cases (the
+/// final shard may be shorter). Returns an exact, ordered, disjoint
+/// cover: empty for n_cases == 0. Throws std::invalid_argument when
+/// shard_size == 0.
+[[nodiscard]] std::vector<Shard> make_shards(std::uint64_t n_cases,
+                                             std::uint64_t shard_size);
+
+/// Default shard size for `workers` workers: aim for ~8 shards per
+/// worker so reassignment after a death loses little work and the
+/// master's reorder window stays small, clamped to [1, 4096]. Never 0,
+/// even for degenerate inputs (0 cases, 0 workers).
+[[nodiscard]] std::uint64_t default_shard_size(std::uint64_t n_cases,
+                                               std::uint64_t workers);
+
+}  // namespace thinair::dist

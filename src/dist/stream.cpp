@@ -1,0 +1,141 @@
+#include "dist/stream.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace thinair::dist {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw std::invalid_argument("not an IPv4 address: " + host);
+  return addr;
+}
+
+}  // namespace
+
+StreamSocket::~StreamSocket() { close(); }
+
+StreamSocket::StreamSocket(StreamSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+StreamSocket& StreamSocket::operator=(StreamSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void StreamSocket::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool StreamSocket::send_all(std::span<const std::uint8_t> data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return false;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::size_t StreamSocket::recv_some(std::span<std::uint8_t> scratch) {
+  for (;;) {
+    const ssize_t n = ::recv(fd_, scratch.data(), scratch.size(), 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) return 0;  // peer gone == EOF for our purposes
+    throw_errno("recv");
+  }
+}
+
+SocketPair make_socket_pair() {
+  int fds[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+    throw_errno("socketpair");
+  SocketPair pair{StreamSocket(fds[0]), StreamSocket(fds[1])};
+  // The parent end must not leak into any exec'd worker; the child end
+  // is deliberately inheritable (the worker finds it via --connect-fd).
+  if (::fcntl(pair.parent.fd(), F_SETFD, FD_CLOEXEC) != 0)
+    throw_errno("fcntl(FD_CLOEXEC)");
+  return pair;
+}
+
+TcpListener::TcpListener(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket");
+  sock_ = StreamSocket(fd);
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const sockaddr_in addr = make_addr(host, port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0)
+    throw_errno("bind");
+  if (::listen(fd, SOMAXCONN) != 0) throw_errno("listen");
+}
+
+std::uint16_t TcpListener::port() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(sock_.fd(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0)
+    throw_errno("getsockname");
+  return ntohs(addr.sin_port);
+}
+
+StreamSocket TcpListener::accept_one() {
+  for (;;) {
+    const int fd = ::accept4(sock_.fd(), nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) {
+      const int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return StreamSocket(fd);
+    }
+    if (errno == EINTR) continue;
+    throw_errno("accept");
+  }
+}
+
+StreamSocket tcp_connect(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket");
+  StreamSocket sock(fd);
+  const sockaddr_in addr = make_addr(host, port);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0)
+      break;
+    if (errno == EINTR) continue;
+    throw_errno("connect");
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+}  // namespace thinair::dist

@@ -1,0 +1,75 @@
+#pragma once
+// Byte-stream transport for the distributed sweep: an RAII stream
+// socket (a TCP connection or one end of an AF_UNIX socketpair to a
+// forked worker), a TCP listener for the multi-machine mode, and the
+// socketpair factory the local fork/exec spawner uses. Mirrors
+// netd/udp.h: thin, throwing-on-real-errors wrappers; every sockaddr
+// cast and errno branch lives here so the layers above handle Frames
+// and fds only.
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace thinair::dist {
+
+/// Move-only owner of one connected stream fd.
+class StreamSocket {
+ public:
+  StreamSocket() = default;
+  explicit StreamSocket(int fd) : fd_(fd) {}
+  ~StreamSocket();
+
+  StreamSocket(const StreamSocket&) = delete;
+  StreamSocket& operator=(const StreamSocket&) = delete;
+  StreamSocket(StreamSocket&& other) noexcept;
+  StreamSocket& operator=(StreamSocket&& other) noexcept;
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void close();
+
+  /// Blocking write of the whole span (MSG_NOSIGNAL — a dead peer must
+  /// not SIGPIPE the master). Returns false when the peer is gone
+  /// (EPIPE/ECONNRESET); throws std::system_error on anything else.
+  bool send_all(std::span<const std::uint8_t> data);
+
+  /// One blocking recv into `scratch`; retries EINTR. Returns the byte
+  /// count, 0 on orderly EOF or connection reset (both mean "peer
+  /// gone"); throws std::system_error on anything else.
+  [[nodiscard]] std::size_t recv_some(std::span<std::uint8_t> scratch);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected AF_UNIX stream pair for master <-> forked worker. The
+/// parent end carries FD_CLOEXEC (it must not leak into sibling
+/// workers); the child end is inherited across exec by design.
+struct SocketPair {
+  StreamSocket parent;
+  StreamSocket child;
+};
+[[nodiscard]] SocketPair make_socket_pair();
+
+/// Listening TCP socket for `thinair sweep-master --listen`. Port 0
+/// binds an ephemeral port; port() reports the real one.
+class TcpListener {
+ public:
+  TcpListener(const std::string& host, std::uint16_t port);
+
+  [[nodiscard]] std::uint16_t port() const;
+  [[nodiscard]] int fd() const { return sock_.fd(); }
+
+  /// Block until one worker connects.
+  [[nodiscard]] StreamSocket accept_one();
+
+ private:
+  StreamSocket sock_;
+};
+
+/// Blocking TCP connect for `thinair sweep-worker --connect`.
+[[nodiscard]] StreamSocket tcp_connect(const std::string& host,
+                                       std::uint16_t port);
+
+}  // namespace thinair::dist

@@ -1,0 +1,115 @@
+#include "dist/worker.h"
+
+#include <exception>
+#include <utility>
+
+#include "runtime/engine.h"
+#include "runtime/scenario_spec.h"
+#include "runtime/seed.h"
+#include "runtime/spec_parse.h"
+#include "util/sha256.h"
+
+namespace thinair::dist {
+
+void SweepWorker::on_frame(const Frame& frame, std::vector<Frame>* out) {
+  if (finished_) return;
+  switch (frame.type()) {
+    case FrameType::kHello:
+      on_hello(std::get<HelloFrame>(frame.body), out);
+      break;
+    case FrameType::kShard:
+      on_shard(std::get<ShardFrame>(frame.body), out);
+      break;
+    case FrameType::kBye:
+      finished_ = true;
+      break;
+    case FrameType::kError:
+      finished_ = true;
+      error_ = std::get<ErrorFrame>(frame.body).message;
+      break;
+    case FrameType::kRecord:
+    case FrameType::kShardDone:
+      fail("unexpected frame type from master", out);
+      break;
+  }
+}
+
+void SweepWorker::on_hello(const HelloFrame& hello, std::vector<Frame>* out) {
+  if (scenario_.has_value()) {
+    fail("duplicate kHello", out);
+    return;
+  }
+  if (hello.proto_version != kProtoVersion) {
+    fail("protocol version mismatch: master " +
+             std::to_string(hello.proto_version) + ", worker " +
+             std::to_string(kProtoVersion),
+         out);
+    return;
+  }
+  std::string round_trip;
+  try {
+    const runtime::ScenarioSpec spec = runtime::parse_spec(hello.spec_text);
+    // Hash what *this* binary would serialize, not the received bytes:
+    // equality then proves the round-trip is a fixed point here too, so
+    // master and worker agree on every spec field, not just the text.
+    round_trip = runtime::serialize_spec(spec);
+    scenario_ = runtime::compile(spec);
+    plan_ = scenario_->plan();
+  } catch (const std::exception& e) {
+    fail(std::string("spec rejected: ") + e.what(), out);
+    return;
+  }
+  const std::string sha = util::sha256_hex(round_trip);
+  if (sha != hello.spec_sha256) {
+    fail("spec hash mismatch after round-trip", out);
+    return;
+  }
+  if (hello.n_cases > plan_->size()) {
+    fail("master case count exceeds the plan", out);
+    return;
+  }
+  master_seed_ = hello.master_seed;
+  n_cases_ = hello.n_cases;
+  HelloFrame reply;
+  reply.proto_version = kProtoVersion;
+  reply.spec_sha256 = sha;
+  out->push_back(Frame{std::move(reply)});
+}
+
+void SweepWorker::on_shard(const ShardFrame& shard, std::vector<Frame>* out) {
+  if (!scenario_.has_value()) {
+    fail("kShard before kHello", out);
+    return;
+  }
+  if (shard.count == 0 || shard.first + shard.count > n_cases_ ||
+      shard.first + shard.count < shard.first) {
+    fail("shard range outside [0, n_cases)", out);
+    return;
+  }
+  for (std::uint64_t i = shard.first; i < shard.first + shard.count; ++i) {
+    const auto index = static_cast<std::size_t>(i);
+    runtime::CaseSpec spec;
+    spec.index = index;
+    spec.seed = runtime::derive_seed(master_seed_, index);
+    spec.params = plan_->at(index);
+    runtime::CaseResult result;
+    try {
+      runtime::worker_arena().reset();
+      result = scenario_->run(spec);
+    } catch (const std::exception& e) {
+      fail("case " + std::to_string(index) + " threw: " + e.what(), out);
+      return;
+    }
+    out->push_back(Frame{to_wire(index, result)});
+    ++records_;
+  }
+  out->push_back(Frame{ShardDoneFrame{shard.first, shard.count}});
+}
+
+void SweepWorker::fail(const std::string& why, std::vector<Frame>* out) {
+  finished_ = true;
+  error_ = why;
+  out->push_back(Frame{ErrorFrame{why}});
+}
+
+}  // namespace thinair::dist

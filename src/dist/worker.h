@@ -1,0 +1,59 @@
+#pragma once
+// SweepWorker: the sans-io worker side of a distributed sweep. Feed it
+// the master's frames; it parses the spec out of kHello (the spec IS the
+// wire format — the describe()/parse() round-trip from the spec
+// front-end), compiles it with the same compile() every local run uses,
+// answers the SHA-256 handshake, and runs each kShard's case range
+// through the existing engine path (per-case arena reset + SplitMix64
+// seed derivation), emitting one kRecord per case and a kShardDone.
+//
+// No sockets, no threads: on_frame runs cases synchronously on the
+// calling thread, which is the whole worker process's job. The IO driver
+// (dist/runner.cpp) just moves bytes and honours finished().
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dist/frame.h"
+#include "runtime/scenario.h"
+#include "runtime/sweep_plan.h"
+
+namespace thinair::dist {
+
+class SweepWorker {
+ public:
+  /// Handle one master frame, appending any reply frames (in send
+  /// order) to `out`. kShard runs its whole case range before
+  /// returning. Protocol violations and spec failures emit kError and
+  /// set finished(); they never throw.
+  void on_frame(const Frame& frame, std::vector<Frame>* out);
+
+  /// True once the conversation is over: kBye received, or a fatal
+  /// error was emitted/received.
+  [[nodiscard]] bool finished() const { return finished_; }
+
+  /// Non-empty when finished() was reached through a failure; the IO
+  /// driver turns it into a nonzero exit code.
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  /// kRecord frames emitted so far (the runner's --exit-after-records
+  /// test hook counts these).
+  [[nodiscard]] std::size_t records_emitted() const { return records_; }
+
+ private:
+  void on_hello(const HelloFrame& hello, std::vector<Frame>* out);
+  void on_shard(const ShardFrame& shard, std::vector<Frame>* out);
+  void fail(const std::string& why, std::vector<Frame>* out);
+
+  bool finished_ = false;
+  std::string error_;
+  std::uint64_t master_seed_ = 0;
+  std::uint64_t n_cases_ = 0;
+  std::optional<runtime::Scenario> scenario_;
+  std::optional<runtime::SweepPlan> plan_;
+  std::size_t records_ = 0;
+};
+
+}  // namespace thinair::dist

@@ -168,6 +168,7 @@ void ResultSink::accept(Record&& record) {
     throw std::logic_error("ResultSink: case pushed twice");
   if (index != next_emit_) {
     pending_.emplace(index, std::move(record));
+    if (pending_.size() > peak_pending_) peak_pending_ = pending_.size();
     return;
   }
   emit(record.spec, record.result);

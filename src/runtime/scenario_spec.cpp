@@ -11,7 +11,9 @@
 #include "core/unicast.h"
 #include "net/medium.h"
 #include "runtime/engine.h"
+#include "runtime/result_sink.h"  // format_double — sweep.key overrides
 #include "runtime/seed.h"
+#include "runtime/spec_parse.h"   // apply_override — sweep.key variants
 #include "testbed/experiment.h"
 #include "testbed/placements.h"
 #include "util/mutex.h"
@@ -118,6 +120,12 @@ ScenarioSpec& ScenarioSpec::sweep_p(std::vector<double> values) {
   sweep.p_values = std::move(values);
   return *this;
 }
+ScenarioSpec& ScenarioSpec::sweep_key(std::string key,
+                                      std::vector<double> values) {
+  sweep.key = std::move(key);
+  sweep.values = std::move(values);
+  return *this;
+}
 ScenarioSpec& ScenarioSpec::with_repeats(std::size_t repeats) {
   sweep.repeats = repeats;
   return *this;
@@ -155,6 +163,16 @@ const std::vector<testbed::Placement>& cached_placements(
   return it->second;
 }
 
+struct Compiled;
+
+/// One value of the sweep.key axis: the value itself plus the spec
+/// variant it compiles to (the base spec with `key = value` applied and
+/// the key axis cleared).
+struct KeyVariant {
+  double value = 0.0;
+  std::shared_ptr<const Compiled> compiled;
+};
+
 /// Everything the plan and case functions need, resolved once at compile
 /// time and shared (immutably) by both closures.
 struct Compiled {
@@ -165,6 +183,11 @@ struct Compiled {
   bool p_axis = false;           // sweep.p non-empty (iid)
   bool rep_axis = false;         // sweep.repeats > 1
   testbed::Placement explicit_placement;  // when testbed && !placement_sweep
+  /// sweep.key axis (empty = absent). When present, every other field
+  /// above is unused: the plan and case functions delegate to the
+  /// per-value variants, with the key as the slowest axis.
+  std::string key;
+  std::vector<KeyVariant> variants;
 };
 
 [[noreturn]] void fail(const ScenarioSpec& spec, const std::string& what) {
@@ -263,9 +286,67 @@ Compiled validate(const ScenarioSpec& spec) {
   return c;
 }
 
+/// validate() plus the sweep.key expansion: a keyed spec compiles one
+/// variant per value (the base spec with the override applied and the
+/// key axis cleared), each recursively validated; everything else goes
+/// straight to validate().
+Compiled make_compiled(const ScenarioSpec& spec) {
+  if (spec.sweep.key.empty() && spec.sweep.values.empty())
+    return validate(spec);
+  if (spec.sweep.key.empty() || spec.sweep.values.empty())
+    fail(spec, "sweep.key and sweep.values must be set together");
+
+  const std::string& key = spec.sweep.key;
+  // sweep.* would self-reference (and sweep.p already is an axis); run.*
+  // is execution pinning, not physics; name/description are not numeric.
+  if (key.starts_with("sweep.") || key.starts_with("run.") ||
+      key == "name" || key == "description")
+    fail(spec, "sweep.key cannot target '" + key + "'");
+
+  Compiled c;
+  c.spec = spec;
+  c.key = key;
+  for (std::size_t i = 0; i < spec.sweep.values.size(); ++i) {
+    const double value = spec.sweep.values[i];
+    for (std::size_t j = 0; j < i; ++j)
+      if (spec.sweep.values[j] == value)
+        fail(spec, "sweep.values has duplicate " + format_double(value));
+    ScenarioSpec variant = spec;
+    variant.sweep.key.clear();
+    variant.sweep.values.clear();
+    try {
+      // The same path/value syntax as `--set key=value`, so exactly the
+      // keys an override can reach are sweepable — and a value the key
+      // cannot hold (90.5 packets) fails here, at compile time.
+      apply_override(variant, key, format_double(value));
+    } catch (const SpecError& e) {
+      fail(spec, "sweep.key: " + std::string(e.what()));
+    }
+    c.variants.push_back(
+        {value, std::make_shared<const Compiled>(make_compiled(variant))});
+  }
+  return c;
+}
+
 SweepPlan make_plan(const Compiled& c) {
   const ScenarioSpec& spec = c.spec;
   SweepPlan plan;
+
+  if (!c.variants.empty()) {
+    // Key axis slowest: variant-major concatenation as explicit points
+    // (per-variant grids may differ in shape — the key can retarget
+    // topology.n), each point led by the key parameter.
+    for (const KeyVariant& kv : c.variants) {
+      const SweepPlan sub = make_plan(*kv.compiled);
+      for (std::size_t i = 0; i < sub.size(); ++i) {
+        Params point;
+        point.push_back({c.key, kv.value});
+        for (Param& p : sub.at(i)) point.push_back(std::move(p));
+        plan.add_point(std::move(point));
+      }
+    }
+    return plan;
+  }
 
   if (c.placement_sweep) {
     // Dependent grid (placement count varies with n and the series cap):
@@ -385,6 +466,15 @@ void append_session_metrics(std::vector<Metric>& metrics,
 }
 
 CaseResult run_case(const Compiled& c, const CaseSpec& cs) {
+  if (!c.variants.empty()) {
+    // Dispatch on the key parameter this case carries. The value went
+    // into the plan verbatim, so exact double comparison is right.
+    const double value = param(cs.params, c.key);
+    for (const KeyVariant& kv : c.variants)
+      if (kv.value == value) return run_case(*kv.compiled, cs);
+    throw std::logic_error(c.spec.name + ": case " + std::to_string(cs.index) +
+                           " carries unknown " + c.key + " value");
+  }
   const ScenarioSpec& spec = c.spec;
   const std::size_t si =
       c.estimator_axis
@@ -461,7 +551,7 @@ CaseResult run_case(const Compiled& c, const CaseSpec& cs) {
 }  // namespace
 
 Scenario compile(const ScenarioSpec& spec) {
-  const auto c = std::make_shared<const Compiled>(validate(spec));
+  const auto c = std::make_shared<const Compiled>(make_compiled(spec));
   Scenario s;
   s.name = spec.name;
   s.description = spec.description;

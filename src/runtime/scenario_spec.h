@@ -120,6 +120,14 @@ struct SweepSpec {
   /// Monte-Carlo repetitions per grid point ("rep" axis when > 1); each
   /// repetition is an independent case with its own derived seed.
   std::size_t repeats = 1;
+  /// Generic axis over any numeric spec key, by the same dotted path
+  /// --set uses: key = "session.x_packets", values = [30, 60, 90] makes
+  /// the sweep's slowest axis "session.x_packets", compiling one spec
+  /// variant per value. Targets under sweep.* and run.* are rejected
+  /// (self-reference / execution pinning). Both empty = no key axis;
+  /// setting one without the other is a compile error.
+  std::string key;
+  std::vector<double> values;
 
   friend bool operator==(const SweepSpec&, const SweepSpec&) = default;
 };
@@ -205,6 +213,8 @@ struct ScenarioSpec {
   ScenarioSpec& with_session(SessionSpec s);
   ScenarioSpec& with_pool(core::PoolStrategy pool);
   ScenarioSpec& sweep_p(std::vector<double> values);
+  /// Sweep any numeric spec key by dotted path (see SweepSpec::key).
+  ScenarioSpec& sweep_key(std::string key, std::vector<double> values);
   ScenarioSpec& with_repeats(std::size_t repeats);
   ScenarioSpec& with_baseline(Baseline b);
   ScenarioSpec& with_metrics(MetricSet m);

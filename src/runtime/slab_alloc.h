@@ -1,0 +1,179 @@
+#pragma once
+// Slab arena + STL allocator for the drainer's reorder buffer.
+//
+// The reorder buffer (ResultSink::pending_) is a std::map that churns
+// one node per out-of-order case: under a skewed schedule (or a
+// distributed run whose shards finish out of order) the default
+// allocator pays a malloc/free round trip per case. SlabArena replaces
+// that with bump allocation out of 64 KiB chunks plus a per-size free
+// list, so steady-state node churn recycles the same few cache-hot
+// blocks and never touches the global heap.
+//
+// Deliberately single-threaded: the arena is owned by whoever owns the
+// container it backs (for ResultSink that is the drainer role, so the
+// arena member carries the same THINAIR_GUARDED_BY annotation as the
+// map). Chunks are only ever freed by the arena's destructor, which
+// must therefore outlive the container — declare the arena before the
+// container in the owning class.
+//
+// Stats are part of the contract, not an afterthought: bench/micro_engine
+// reports them into BENCH_engine.json so CI can see that the free list
+// actually recycles (freelist_hits) and that chunk growth stays bounded
+// by the reorder high-water mark rather than total case count.
+
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace thinair::runtime {
+
+class SlabArena {
+ public:
+  /// Upstream allocation unit. Large enough that even a pathological
+  /// reorder window amortises the heap round trips away; small enough
+  /// that an in-order run wastes at most one chunk.
+  static constexpr std::size_t kChunkBytes = 64 * 1024;
+
+  SlabArena() = default;
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+
+  struct Stats {
+    std::size_t chunks = 0;          ///< upstream heap chunks allocated
+    std::size_t reserved_bytes = 0;  ///< bytes those chunks span
+    std::size_t acquires = 0;        ///< total block acquisitions
+    std::size_t freelist_hits = 0;   ///< acquisitions served by recycling
+    std::size_t live_blocks = 0;     ///< acquired minus released
+  };
+
+  /// A block of at least `bytes` bytes, aligned for any ordinary type.
+  /// Recycles a released block of the same size class when one exists;
+  /// otherwise bumps the current chunk (growing by kChunkBytes, or by
+  /// the rounded request if larger).
+  void* acquire(std::size_t bytes) {
+    const std::size_t size = round_up(bytes);
+    ++stats_.acquires;
+    ++stats_.live_blocks;
+    FreeNode*& head = bucket_head(size);
+    if (head != nullptr) {
+      ++stats_.freelist_hits;
+      FreeNode* node = head;
+      head = node->next;
+      return node;
+    }
+    if (bump_left_ < size) grow(size);
+    std::byte* block = bump_;
+    bump_ += size;
+    bump_left_ -= size;
+    return block;
+  }
+
+  /// Return a block acquired with the same `bytes`. The memory stays
+  /// reserved on the size class's free list for the next acquire.
+  void release(void* block, std::size_t bytes) noexcept {
+    const std::size_t size = round_up(bytes);
+    FreeNode*& head = bucket_head(size);
+    // The released block becomes its own free-list node — the classic
+    // intrusive trick; round_up guarantees it is big enough.
+    auto* node = ::new (block) FreeNode{head};
+    head = node;
+    --stats_.live_blocks;
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  static constexpr std::size_t kAlign =
+      alignof(std::max_align_t) > sizeof(FreeNode) ? alignof(std::max_align_t)
+                                                   : sizeof(FreeNode);
+
+  static constexpr std::size_t round_up(std::size_t bytes) {
+    return ((bytes < 1 ? 1 : bytes) + kAlign - 1) / kAlign * kAlign;
+  }
+
+  /// Free-list head for one size class. Node containers hit a handful
+  /// of distinct sizes, so a tiny linear-scanned vector beats a map.
+  FreeNode*& bucket_head(std::size_t size) {
+    for (Bucket& bucket : buckets_)
+      if (bucket.size == size) return bucket.head;
+    buckets_.push_back(Bucket{size, nullptr});
+    return buckets_.back().head;
+  }
+
+  void grow(std::size_t min_bytes) {
+    const std::size_t chunk =
+        min_bytes > kChunkBytes ? min_bytes : kChunkBytes;
+    chunks_.push_back(std::make_unique<std::byte[]>(chunk));
+    bump_ = chunks_.back().get();
+    bump_left_ = chunk;
+    ++stats_.chunks;
+    stats_.reserved_bytes += chunk;
+  }
+
+  struct Bucket {
+    std::size_t size;
+    FreeNode* head;
+  };
+
+  std::vector<Bucket> buckets_;
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::byte* bump_ = nullptr;
+  std::size_t bump_left_ = 0;
+  Stats stats_;
+};
+
+/// Minimal C++17 allocator over a SlabArena, for node-based containers
+/// (std::map/std::set). Single-element allocations — the only kind a
+/// node container makes — go through the arena; bulk allocations fall
+/// back to the heap so the type is safe to reuse elsewhere. The arena
+/// pointer is salient state: two allocators compare equal iff they
+/// share an arena, and the arena must outlive every container bound to
+/// it.
+template <typename T>
+class SlabAllocator {
+ public:
+  using value_type = T;
+
+  static_assert(alignof(T) <= alignof(std::max_align_t),
+                "SlabArena serves fundamental alignment only");
+
+  explicit SlabAllocator(SlabArena* arena) : arena_(arena) {}
+  template <typename U>
+  SlabAllocator(const SlabAllocator<U>& other)  // NOLINT(*-explicit-*)
+      : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    if (n == 1) return static_cast<T*>(arena_->acquire(sizeof(T)));
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T))
+      throw std::bad_alloc();
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) noexcept {
+    if (n == 1) {
+      arena_->release(p, sizeof(T));
+      return;
+    }
+    ::operator delete(p);
+  }
+
+  [[nodiscard]] SlabArena* arena() const { return arena_; }
+
+  friend bool operator==(const SlabAllocator& a, const SlabAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const SlabAllocator& a, const SlabAllocator& b) {
+    return a.arena_ != b.arena_;
+  }
+
+ private:
+  SlabArena* arena_;
+};
+
+}  // namespace thinair::runtime

@@ -448,6 +448,13 @@ void set_field(ScenarioSpec& spec, const std::string& section,
     } else if (key == "repeats") {
       sw.repeats = parse_integer(path, value);
       if (sw.repeats < 1) fail(path, "must be >= 1");
+    } else if (key == "key") {
+      // The dotted path of the generic axis. Its target must itself be a
+      // settable key, but that is compile()'s job (it applies the
+      // override per value) — here it is just a string.
+      sw.key = parse_string(path, value);
+    } else if (key == "values") {
+      sw.values = parse_number_list(path, value);
     } else {
       unknown_key();
     }
@@ -652,6 +659,15 @@ std::string serialize_spec(const ScenarioSpec& spec) {
     out << (i > 0 ? ", " : "") << num(spec.sweep.p_values[i]);
   out << "]\n";
   out << "repeats = " << spec.sweep.repeats << "\n";
+  // Only when set: an absent key axis must serialize to absent keys for
+  // the parse(serialize(s)) == s round trip to hold.
+  if (!spec.sweep.key.empty()) out << "key = " << quote(spec.sweep.key) << "\n";
+  if (!spec.sweep.values.empty()) {
+    out << "values = [";
+    for (std::size_t i = 0; i < spec.sweep.values.size(); ++i)
+      out << (i > 0 ? ", " : "") << num(spec.sweep.values[i]);
+    out << "]\n";
+  }
 
   out << "\n[output]\n";
   out << "baseline = \"" << to_string(spec.output.baseline) << "\"\n";

@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# The distributed sweep through the real CLI: one cheap scenario run
+# single-process, then fanned out over forked workers (healthy and with
+# one worker killed mid-run), then over TCP with separately launched
+# worker processes — every variant must produce byte-identical NDJSON.
+#
+#   usage: cli_dist_smoke.sh /path/to/thinair
+set -u
+
+THINAIR=${1:?usage: cli_dist_smoke.sh /path/to/thinair}
+WORK=$(mktemp -d)
+MASTER_PID=
+cleanup() {
+  [ -n "$MASTER_PID" ] && kill "$MASTER_PID" 2>/dev/null
+  wait 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+# fig1 cut down to 8 quick cases: 2 n-values x 2 p-values x 2 repeats.
+SPEC=(fig1 --set session.x_packets=30 --set session.rounds=1
+      --set 'topology.n=[2,3]' --set 'sweep.p=[0.2,0.5]'
+      --set sweep.repeats=2)
+
+run() {
+  local out=$1
+  shift
+  "$THINAIR" run "${SPEC[@]}" --seed 21 --quiet --out "$WORK/$out" "$@" \
+    2>"$WORK/${out%.ndjson}.err" ||
+    { cat "$WORK/${out%.ndjson}.err" >&2; fail "run writing $out exited nonzero"; }
+  [ -s "$WORK/$out" ] || fail "$out is empty"
+}
+
+run t1.ndjson --threads 1
+[ "$(wc -l <"$WORK/t1.ndjson")" -eq 8 ] || fail "expected 8 NDJSON lines"
+
+run w1.ndjson --workers 1
+cmp -s "$WORK/t1.ndjson" "$WORK/w1.ndjson" ||
+  fail "--workers 1 bytes differ from --threads 1"
+
+run w4.ndjson --workers 4 --shard-size 3
+cmp -s "$WORK/t1.ndjson" "$WORK/w4.ndjson" ||
+  fail "--workers 4 bytes differ from --threads 1"
+echo "fork fan-out: 1 and 4 workers byte-identical to single-process"
+
+# Kill worker 0 after 2 records: its shard forfeits and is re-run by a
+# survivor; the dedup ledger keeps the merged bytes identical.
+run kill.ndjson --workers 4 --shard-size 3 --test-kill-worker-after 2
+cmp -s "$WORK/t1.ndjson" "$WORK/kill.ndjson" ||
+  fail "bytes differ after a worker was killed mid-run"
+echo "worker killed mid-shard: recovered byte-identically"
+
+# The acceptance scenario by name: fig2 (testbed channel, 3-estimator
+# axis), --limit kept small so the smoke stays fast. The truncation
+# footer must survive the fan-out too.
+for v in "--threads 1" "--workers 1" "--workers 4"; do
+  # shellcheck disable=SC2086  # $v is two words by design
+  "$THINAIR" run fig2 --seed 21 --limit 30 --quiet $v \
+    --out "$WORK/fig2-${v##* }-${v:2:1}.ndjson" 2>/dev/null ||
+    fail "fig2 $v exited nonzero"
+done
+cmp -s "$WORK/fig2-1-t.ndjson" "$WORK/fig2-1-w.ndjson" ||
+  fail "fig2 --workers 1 bytes differ from --threads 1"
+cmp -s "$WORK/fig2-1-t.ndjson" "$WORK/fig2-4-w.ndjson" ||
+  fail "fig2 --workers 4 bytes differ from --threads 1"
+echo "fig2 (limit 30): 1 and 4 workers byte-identical to single-process"
+
+# The generic sweep.key axis through the fork path: a keyed spec is
+# serialized into kHello and variant-expanded on the worker side.
+"$THINAIR" run "${SPEC[@]}" --set sweep.key=session.x_packets \
+  --set 'sweep.values=[20,30]' --seed 21 --quiet --threads 1 \
+  --out "$WORK/key_t1.ndjson" 2>/dev/null ||
+  fail "keyed run (--threads 1) exited nonzero"
+"$THINAIR" run "${SPEC[@]}" --set sweep.key=session.x_packets \
+  --set 'sweep.values=[20,30]' --seed 21 --quiet --workers 2 \
+  --out "$WORK/key_w2.ndjson" 2>/dev/null ||
+  fail "keyed run (--workers 2) exited nonzero"
+cmp -s "$WORK/key_t1.ndjson" "$WORK/key_w2.ndjson" ||
+  fail "sweep.key bytes differ between --threads 1 and --workers 2"
+echo "sweep.key axis: distributed bytes identical"
+
+# TCP mode: master on an ephemeral port, two separately launched workers.
+"$THINAIR" sweep-master --listen 127.0.0.1:0 --workers 2 "${SPEC[@]}" \
+  --seed 21 --quiet --shard-size 3 --out "$WORK/tcp.ndjson" \
+  2>"$WORK/master.err" &
+MASTER_PID=$!
+
+PORT=
+for _ in $(seq 50); do
+  PORT=$(grep -oE 'listening on [0-9.]+:[0-9]+' "$WORK/master.err" 2>/dev/null |
+         grep -oE '[0-9]+$')
+  [ -n "$PORT" ] && break
+  kill -0 "$MASTER_PID" 2>/dev/null || {
+    cat "$WORK/master.err" >&2
+    fail "sweep-master exited during startup"
+  }
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "sweep-master never reported its port"
+
+"$THINAIR" sweep-worker --connect 127.0.0.1:"$PORT" &
+W1_PID=$!
+"$THINAIR" sweep-worker --connect 127.0.0.1:"$PORT" &
+W2_PID=$!
+wait "$W1_PID" || fail "TCP worker 1 exited nonzero"
+wait "$W2_PID" || fail "TCP worker 2 exited nonzero"
+wait "$MASTER_PID" || { cat "$WORK/master.err" >&2;
+                        fail "sweep-master exited nonzero"; }
+MASTER_PID=
+cmp -s "$WORK/t1.ndjson" "$WORK/tcp.ndjson" ||
+  fail "TCP-mode bytes differ from single-process"
+echo "TCP master + 2 workers: byte-identical"
+
+echo "PASS"

@@ -1,0 +1,767 @@
+// The distributed-sweep subsystem, tested without a single socket:
+// shard arithmetic (exact cover at every (n, size) combination), the
+// frame codec (round trips, strict/total decoding under truncation and
+// corruption, FrameReader streaming), and the sans-io SweepMaster /
+// SweepWorker cores driven frame-by-frame through an in-process pump —
+// including the fault paths (worker death mid-shard, lost records,
+// retry cap, timeouts, handshake rejection) and the acceptance
+// property: the merged NDJSON is byte-identical to a single-process
+// run even when a worker dies after delivering half a shard.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "channel/rng.h"
+#include "dist/frame.h"
+#include "dist/master.h"
+#include "dist/shard.h"
+#include "dist/worker.h"
+#include "runtime/engine.h"
+#include "runtime/result_sink.h"
+#include "runtime/scenario_spec.h"
+#include "runtime/spec_parse.h"
+#include "util/mutex.h"
+#include "util/sha256.h"
+
+namespace thinair::dist {
+namespace {
+
+using runtime::ResultSink;
+using runtime::RunOptions;
+using runtime::Scenario;
+using runtime::ScenarioSpec;
+using runtime::SessionSpec;
+
+// ----------------------------------------------------------- shard math
+
+TEST(Shards, ExactCoverAtEveryCombination) {
+  // make_shards must return an ordered, disjoint, exact cover of
+  // [0, n) for every combination — the master's dedup vector and the
+  // sink's push-exactly-once contract both lean on this.
+  const std::uint64_t case_counts[] = {0, 1, 2, 5, 7, 64, 100, 1000};
+  const std::uint64_t sizes[] = {1, 2, 3, 7, 64, 4096};
+  for (const std::uint64_t n : case_counts) {
+    for (const std::uint64_t size : sizes) {
+      SCOPED_TRACE("n=" + std::to_string(n) + " size=" + std::to_string(size));
+      const std::vector<Shard> shards = make_shards(n, size);
+      std::uint64_t next = 0;
+      for (const Shard& s : shards) {
+        EXPECT_EQ(s.first, next);
+        EXPECT_GT(s.count, 0u);
+        EXPECT_LE(s.count, size);
+        next += s.count;
+      }
+      EXPECT_EQ(next, n);
+      const std::uint64_t expected = n == 0 ? 0 : (n + size - 1) / size;
+      EXPECT_EQ(shards.size(), expected);
+    }
+  }
+}
+
+TEST(Shards, ZeroShardSizeThrows) {
+  EXPECT_THROW((void)make_shards(10, 0), std::invalid_argument);
+}
+
+TEST(Shards, DefaultShardSizeIsSaneEverywhere) {
+  // Never 0 (degenerate inputs included), never above the clamp, and
+  // aiming for about 8 shards per worker in the comfortable regime.
+  EXPECT_GE(default_shard_size(0, 0), 1u);
+  EXPECT_GE(default_shard_size(0, 4), 1u);
+  EXPECT_GE(default_shard_size(17, 0), 1u);
+  const std::uint64_t case_counts[] = {1, 100, 10000, 1000000};
+  const std::uint64_t worker_counts[] = {1, 2, 8, 64};
+  for (const std::uint64_t n : case_counts) {
+    for (const std::uint64_t w : worker_counts) {
+      const std::uint64_t size = default_shard_size(n, w);
+      EXPECT_GE(size, 1u);
+      EXPECT_LE(size, 4096u);
+    }
+  }
+  // 800 cases over 4 workers: 8 shards per worker = 25 cases per shard.
+  EXPECT_EQ(default_shard_size(800, 4), 25u);
+}
+
+// ---------------------------------------------------------- frame codec
+
+std::vector<Frame> all_frame_kinds() {
+  HelloFrame hello;
+  hello.master_seed = 0xdeadbeefcafe1234ULL;
+  hello.n_cases = 42;
+  hello.spec_sha256 = std::string(64, 'a');
+  hello.spec_text = "[session]\nx_packets = 90\n";
+  RecordFrame record;
+  record.case_index = 7;
+  record.group = "n=3";
+  record.metrics = {{"reliability", 0x3FF0000000000000ULL},
+                    {"secret_rate_bps", 0x40590C0000000000ULL},
+                    {"nan_metric", 0x7FF8000000000001ULL},  // a quiet NaN
+                    {"negzero", 0x8000000000000000ULL}};    // -0.0
+  return {Frame{std::move(hello)},
+          Frame{ShardFrame{128, 64}},
+          Frame{std::move(record)},
+          Frame{ShardDoneFrame{128, 64}},
+          Frame{ByeFrame{}},
+          Frame{ErrorFrame{"worker: spec parse failed"}}};
+}
+
+TEST(FrameCodec, EveryFrameTypeRoundTrips) {
+  for (const Frame& frame : all_frame_kinds()) {
+    SCOPED_TRACE(static_cast<int>(frame.type()));
+    const std::vector<std::uint8_t> bytes = encode_frame(frame);
+    const DecodeResult result = decode_frame(bytes);
+    ASSERT_EQ(result.error, DecodeError::kNone);
+    ASSERT_TRUE(result.frame.has_value());
+    EXPECT_EQ(result.consumed, bytes.size());
+    EXPECT_EQ(*result.frame, frame);
+  }
+}
+
+TEST(FrameCodec, EveryTruncationIsNeedMoreAndConsumesNothing) {
+  // Strict totality, half one: a stream that ends mid-frame is never an
+  // error and never consumes bytes — the reader just waits. Every
+  // proper prefix of every frame type must say exactly that.
+  for (const Frame& frame : all_frame_kinds()) {
+    const std::vector<std::uint8_t> bytes = encode_frame(frame);
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      const DecodeResult result = decode_frame(std::span(bytes.data(), len));
+      EXPECT_EQ(result.error, DecodeError::kNeedMore)
+          << "type " << static_cast<int>(frame.type()) << " prefix " << len;
+      EXPECT_EQ(result.consumed, 0u);
+      EXPECT_FALSE(result.frame.has_value());
+    }
+  }
+}
+
+std::vector<std::uint8_t> raw_frame(std::uint32_t body_len,
+                                    std::vector<std::uint8_t> body) {
+  std::vector<std::uint8_t> bytes;
+  for (int i = 0; i < 4; ++i)
+    bytes.push_back(static_cast<std::uint8_t>(body_len >> (8 * i)));
+  for (const std::uint8_t b : body) bytes.push_back(b);
+  return bytes;
+}
+
+TEST(FrameCodec, OversizedLengthPrefixIsRejectedBeforeBuffering) {
+  // A hostile length prefix must be classified from the 4-byte header
+  // alone — the driver drops the connection instead of allocating.
+  const auto bytes =
+      raw_frame(static_cast<std::uint32_t>(kMaxFrameBody) + 1, {});
+  const DecodeResult result = decode_frame(bytes);
+  EXPECT_EQ(result.error, DecodeError::kOversized);
+}
+
+TEST(FrameCodec, UnknownTypeByteIsRejected) {
+  const auto bytes = raw_frame(1, {kMaxFrameType + 1});
+  const DecodeResult result = decode_frame(bytes);
+  EXPECT_EQ(result.error, DecodeError::kBadType);
+}
+
+TEST(FrameCodec, TrailingBytesInsideTheBodyAreRejected) {
+  // kBye has an empty body; declaring one extra byte means the fields
+  // end before the body does — kTrailing, not a silent skip.
+  const auto bytes =
+      raw_frame(2, {static_cast<std::uint8_t>(FrameType::kBye), 0x00});
+  const DecodeResult result = decode_frame(bytes);
+  EXPECT_EQ(result.error, DecodeError::kTrailing);
+}
+
+TEST(FrameCodec, FieldPastTheBodyIsMalformed) {
+  // A kError whose string length runs past the declared body.
+  const auto bytes =
+      raw_frame(5, {static_cast<std::uint8_t>(FrameType::kError), 0xFF, 0x00,
+                    0x00, 0x00});
+  const DecodeResult result = decode_frame(bytes);
+  EXPECT_EQ(result.error, DecodeError::kMalformed);
+}
+
+TEST(FrameCodec, MetricCountBoundIsEnforced) {
+  // body: type + u64 case_index + u32 group_len + u32 metric_count.
+  std::vector<std::uint8_t> body = {
+      static_cast<std::uint8_t>(FrameType::kRecord)};
+  for (int i = 0; i < 8; ++i) body.push_back(0);  // case_index
+  for (int i = 0; i < 4; ++i) body.push_back(0);  // group ""
+  const auto count = static_cast<std::uint32_t>(kMaxMetricsPerRecord) + 1;
+  for (int i = 0; i < 4; ++i)
+    body.push_back(static_cast<std::uint8_t>(count >> (8 * i)));
+  const auto bytes =
+      raw_frame(static_cast<std::uint32_t>(body.size()), std::move(body));
+  const DecodeResult result = decode_frame(bytes);
+  EXPECT_EQ(result.error, DecodeError::kMalformed);
+}
+
+TEST(FrameCodec, CorruptionFuzzNeverCrashesAndNeverOverreads) {
+  // Flip one byte of a valid frame at every position: decode must stay
+  // total — any verdict is fine except an out-of-bounds read (the
+  // sanitizers' department) or a result that claims more bytes than
+  // exist. Then pure-noise buffers, same contract.
+  channel::Rng rng(99);
+  for (const Frame& frame : all_frame_kinds()) {
+    const std::vector<std::uint8_t> bytes = encode_frame(frame);
+    for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+      std::vector<std::uint8_t> mutated = bytes;
+      mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.next_byte() % 255);
+      const DecodeResult result = decode_frame(mutated);
+      EXPECT_LE(result.consumed, mutated.size());
+      EXPECT_EQ(result.frame.has_value(), result.error == DecodeError::kNone);
+    }
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> noise(rng.next_byte() % 64);
+    for (auto& b : noise) b = rng.next_byte();
+    const DecodeResult result = decode_frame(noise);
+    EXPECT_LE(result.consumed, noise.size());
+  }
+}
+
+TEST(FrameReaderTest, ReassemblesOneByteAtATime) {
+  // The stream boundary torture test: a whole conversation fed a single
+  // byte per feed() call must come out intact, in order.
+  const std::vector<Frame> frames = all_frame_kinds();
+  std::vector<std::uint8_t> stream;
+  for (const Frame& frame : frames) {
+    const auto bytes = encode_frame(frame);
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  }
+  FrameReader reader;
+  std::vector<Frame> decoded;
+  for (const std::uint8_t byte : stream) {
+    reader.feed(std::span(&byte, 1));
+    while (auto frame = reader.next()) decoded.push_back(std::move(*frame));
+  }
+  EXPECT_EQ(reader.error(), DecodeError::kNone);
+  ASSERT_EQ(decoded.size(), frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i)
+    EXPECT_EQ(decoded[i], frames[i]) << i;
+}
+
+TEST(FrameReaderTest, LatchesAProtocolViolationForever) {
+  FrameReader reader;
+  reader.feed(raw_frame(1, {kMaxFrameType + 1}));
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.error(), DecodeError::kBadType);
+  // Even a valid frame after the violation stays unread: the stream is
+  // poisoned and the connection must be dropped.
+  reader.feed(encode_frame(Frame{ByeFrame{}}));
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.error(), DecodeError::kBadType);
+}
+
+TEST(WireRecord, BitExactDoubleRoundTrip) {
+  // to_wire/from_wire must move metric doubles as bit patterns: -0.0,
+  // denormals and infinities all survive, so the master formats exactly
+  // the double the worker computed.
+  runtime::CaseResult result;
+  result.group = "n=4";
+  result.metrics = {{"a", 1.0},
+                    {"b", -0.0},
+                    {"c", 5e-324},  // smallest denormal
+                    {"d", std::numeric_limits<double>::infinity()}};
+  const RecordFrame wire = to_wire(123, result);
+  EXPECT_EQ(wire.case_index, 123u);
+  const runtime::CaseResult back = from_wire(wire);
+  EXPECT_EQ(back.group, result.group);
+  ASSERT_EQ(back.metrics.size(), result.metrics.size());
+  for (std::size_t i = 0; i < result.metrics.size(); ++i) {
+    EXPECT_EQ(back.metrics[i].name, result.metrics[i].name);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(back.metrics[i].value),
+              std::bit_cast<std::uint64_t>(result.metrics[i].value));
+  }
+  // A NaN payload straight through the wire struct: bit_cast both ways
+  // must preserve it even though the double compares unequal to itself.
+  RecordFrame nan_wire;
+  nan_wire.metrics = {{"nan", 0x7FF8DEADBEEF0001ULL}};
+  const runtime::CaseResult nan_back = from_wire(nan_wire);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(nan_back.metrics[0].value),
+            0x7FF8DEADBEEF0001ULL);
+}
+
+// --------------------------------------------- sans-io master <-> worker
+
+// A cheap spec: 8 cases (2 p-values x 2 n x 2 repeats), milliseconds to
+// run, exercising the group axis.
+ScenarioSpec pump_spec() {
+  SessionSpec session;
+  session.x_packets = 30;
+  session.rounds = 1;
+  return ScenarioSpec{}
+      .with_name("dist-pump")
+      .on_iid(0.3)
+      .sweep_p({0.2, 0.5})
+      .with_n({2, 3})
+      .with_session(session)
+      .with_estimator(core::EstimatorKind::kLooFraction)
+      .with_repeats(2);
+}
+
+std::string reference_ndjson(const Scenario& scenario,
+                             const RunOptions& options) {
+  std::ostringstream out;
+  ResultSink sink(scenario.name, &out);
+  (void)run_scenario(scenario, options, sink);
+  return out.str();
+}
+
+// The in-process IO driver: owns the master, a sink and a set of live
+// SweepWorkers, and moves frames both ways until the conversation
+// quiesces. Every public method claims the master's loop role for its
+// own scope (the Role is a runtime no-op; the claim is what the
+// -Wthread-safety analysis checks), so tests read as fault scripts:
+// connect / connect_wedged / connect_partial / kill / tick.
+class Pump {
+ public:
+  Pump(const Scenario& scenario, const RunOptions& options,
+       const MasterTuning& tuning)
+      : sink_(scenario.name, &ndjson_),
+        master_(scenario, options, tuning, &sink_) {}
+
+  /// A healthy worker: handshakes and runs whatever it is handed.
+  void connect(WorkerId id) {
+    const util::RoleLock role(master_.loop_role());
+    workers_.emplace(id, SweepWorker{});
+    std::vector<MasterOutput> out;
+    master_.on_worker_connected(id, now_s_, &out);
+    deliver(std::move(out), std::nullopt);
+  }
+
+  /// Like connect, but every kRecord the worker sends is lost in
+  /// transit — the master sees a kShardDone with missing records.
+  void connect_dropping_records(WorkerId id) {
+    const util::RoleLock role(master_.loop_role());
+    workers_.emplace(id, SweepWorker{});
+    std::vector<MasterOutput> out;
+    master_.on_worker_connected(id, now_s_, &out);
+    deliver(std::move(out), id);
+  }
+
+  /// A worker that handshakes, accepts its shard assignment, and then
+  /// goes silent: the master holds it kRunning forever (until a kill
+  /// or a timeout forfeits the shard).
+  void connect_wedged(WorkerId id) {
+    const util::RoleLock role(master_.loop_role());
+    workers_.emplace(id, SweepWorker{});
+    std::vector<MasterOutput> hello_out;
+    master_.on_worker_connected(id, now_s_, &hello_out);
+    ASSERT_EQ(hello_out.size(), 1u);
+    std::vector<Frame> replies;
+    workers_.at(id).on_frame(hello_out[0].frame, &replies);
+    ASSERT_EQ(replies.size(), 1u);  // the hello ack
+    std::vector<MasterOutput> swallowed;
+    master_.on_frame(id, replies[0], now_s_, &swallowed);
+  }
+
+  /// A worker that runs its first shard but whose connection dies after
+  /// `n_records` kRecord frames — no kShardDone, a partially delivered
+  /// shard. Follow with kill(id).
+  void connect_partial(WorkerId id, std::size_t n_records) {
+    const util::RoleLock role(master_.loop_role());
+    workers_.emplace(id, SweepWorker{});
+    std::vector<MasterOutput> hello_out;
+    master_.on_worker_connected(id, now_s_, &hello_out);
+    ASSERT_EQ(hello_out.size(), 1u);
+    std::vector<Frame> replies;
+    workers_.at(id).on_frame(hello_out[0].frame, &replies);
+    ASSERT_EQ(replies.size(), 1u);
+    std::vector<MasterOutput> shard_out;
+    master_.on_frame(id, replies[0], now_s_, &shard_out);
+    ASSERT_EQ(shard_out.size(), 1u);
+    ASSERT_EQ(shard_out[0].frame.type(), FrameType::kShard);
+    replies.clear();
+    workers_.at(id).on_frame(shard_out[0].frame, &replies);
+    ASSERT_GT(replies.size(), n_records);  // records + kShardDone
+    std::vector<MasterOutput> ignored;
+    for (std::size_t i = 0; i < n_records; ++i)
+      master_.on_frame(id, replies[i], now_s_, &ignored);
+  }
+
+  /// A connection whose hello ack carries the wrong spec hash. Returns
+  /// the master's closing kError message ("" if none came back).
+  std::string connect_bad_hello(WorkerId id) {
+    const util::RoleLock role(master_.loop_role());
+    std::vector<MasterOutput> hello_out;
+    master_.on_worker_connected(id, now_s_, &hello_out);
+    HelloFrame bad_ack;
+    bad_ack.spec_sha256 = std::string(64, 'f');
+    std::vector<MasterOutput> reply;
+    master_.on_frame(id, Frame{std::move(bad_ack)}, now_s_, &reply);
+    for (const MasterOutput& output : reply)
+      if (output.to == id && output.frame.type() == FrameType::kError &&
+          output.close)
+        return std::get<ErrorFrame>(output.frame.body).message;
+    return {};
+  }
+
+  /// The worker's process dies: its pending frames vanish with it.
+  void kill(WorkerId id) {
+    const util::RoleLock role(master_.loop_role());
+    workers_.erase(id);
+    std::vector<MasterOutput> out;
+    master_.on_worker_closed(id, now_s_, &out);
+    deliver(std::move(out), std::nullopt);
+  }
+
+  void tick(double delta_s) {
+    const util::RoleLock role(master_.loop_role());
+    now_s_ += delta_s;
+    std::vector<MasterOutput> out;
+    master_.on_tick(now_s_, &out);
+    deliver(std::move(out), std::nullopt);
+  }
+
+  bool done() {
+    const util::RoleLock role(master_.loop_role());
+    return master_.done();
+  }
+  bool failed() {
+    const util::RoleLock role(master_.loop_role());
+    return master_.failed();
+  }
+  std::string error() {
+    const util::RoleLock role(master_.loop_role());
+    return master_.error();
+  }
+  std::size_t completed_shards() {
+    const util::RoleLock role(master_.loop_role());
+    return master_.shard_round_trips_s().size();
+  }
+  std::size_t cases() {
+    const util::RoleLock role(master_.loop_role());
+    return master_.cases();
+  }
+  std::size_t plan_cases() {
+    const util::RoleLock role(master_.loop_role());
+    return master_.plan_cases();
+  }
+
+  /// Finish the sink and hand back the merged NDJSON bytes (the same
+  /// truncation footer the real runner writes for --limit runs).
+  std::string finish() {
+    {
+      const util::RoleLock role(master_.loop_role());
+      if (master_.cases() < master_.plan_cases())
+        sink_.mark_truncated(master_.cases(), master_.plan_cases());
+    }
+    sink_.finish();
+    return ndjson_.str();
+  }
+
+ private:
+  /// Deliver master outputs to workers and worker replies back to the
+  /// master until nothing moves. `drop_records_from` discards that
+  /// worker's kRecord replies — frames lost in a dying connection.
+  void deliver(std::vector<MasterOutput> pending,
+               std::optional<WorkerId> drop_records_from)
+      THINAIR_REQUIRES(master_.loop_role()) {
+    while (!pending.empty()) {
+      std::vector<MasterOutput> next;
+      for (const MasterOutput& output : pending) {
+        const auto it = workers_.find(output.to);
+        if (it == workers_.end()) continue;
+        std::vector<Frame> replies;
+        it->second.on_frame(output.frame, &replies);
+        const bool closed = output.close || it->second.finished();
+        for (const Frame& reply : replies) {
+          if (drop_records_from && *drop_records_from == output.to &&
+              reply.type() == FrameType::kRecord)
+            continue;
+          master_.on_frame(output.to, reply, now_s_, &next);
+        }
+        if (closed) {
+          workers_.erase(output.to);
+          master_.on_worker_closed(output.to, now_s_, &next);
+        }
+      }
+      pending = std::move(next);
+    }
+  }
+
+  std::ostringstream ndjson_;
+  ResultSink sink_;
+  SweepMaster master_;
+  std::map<WorkerId, SweepWorker> workers_;
+  double now_s_ = 10.0;
+};
+
+TEST(SweepMasterTest, SpeclessScenarioIsRejected) {
+  runtime::Scenario scenario;  // no spec: nothing to put in kHello
+  std::ostringstream out;
+  ResultSink sink("x", &out);
+  EXPECT_THROW(SweepMaster(scenario, RunOptions{}, MasterTuning{}, &sink),
+               std::invalid_argument);
+}
+
+TEST(SweepMasterTest, SingleWorkerMatchesSingleProcessBytes) {
+  const Scenario scenario = compile(pump_spec());
+  RunOptions options;
+  options.threads = 1;
+  options.master_seed = 21;
+  MasterTuning tuning;
+  tuning.shard_size = 3;  // 8 cases -> shards of 3, 3, 2
+
+  Pump pump(scenario, options, tuning);
+  pump.connect(1);
+  EXPECT_TRUE(pump.done());
+  EXPECT_FALSE(pump.failed());
+  EXPECT_EQ(pump.completed_shards(), 3u);
+  EXPECT_EQ(pump.finish(), reference_ndjson(scenario, options));
+}
+
+TEST(SweepMasterTest, FourWorkersMatchSingleProcessBytes) {
+  const Scenario scenario = compile(pump_spec());
+  RunOptions options;
+  options.threads = 1;
+  options.master_seed = 21;
+  MasterTuning tuning;
+  tuning.shard_size = 1;  // maximum interleaving: 8 shards, 4 workers
+
+  Pump pump(scenario, options, tuning);
+  for (WorkerId id = 1; id <= 4; ++id) pump.connect(id);
+  EXPECT_TRUE(pump.done());
+  EXPECT_FALSE(pump.failed());
+  EXPECT_EQ(pump.completed_shards(), 8u);
+  EXPECT_EQ(pump.finish(), reference_ndjson(scenario, options));
+}
+
+TEST(SweepMasterTest, LimitTruncatesThePlan) {
+  const Scenario scenario = compile(pump_spec());
+  RunOptions options;
+  options.threads = 1;
+  options.master_seed = 21;
+  options.limit = 5;
+  MasterTuning tuning;
+  tuning.shard_size = 2;
+
+  Pump pump(scenario, options, tuning);
+  EXPECT_EQ(pump.cases(), 5u);
+  EXPECT_EQ(pump.plan_cases(), 8u);
+  pump.connect(1);
+  EXPECT_TRUE(pump.done());
+  EXPECT_EQ(pump.finish(), reference_ndjson(scenario, options));
+}
+
+TEST(SweepMasterTest, LostRecordsForfeitTheShardAndTheBytesStillMatch) {
+  // Worker 2's records all vanish in transit, so its kShardDone arrives
+  // with cases missing: the master must drop it and requeue the shard
+  // instead of trusting the "done". Worker 3 (healthy) and the requeued
+  // work still merge to the reference bytes; wedged worker 1 holds
+  // shard 0 hostage until a kill forfeits it to the survivor.
+  const Scenario scenario = compile(pump_spec());
+  RunOptions options;
+  options.threads = 1;
+  options.master_seed = 21;
+  MasterTuning tuning;
+  tuning.shard_size = 4;  // 2 shards
+
+  Pump pump(scenario, options, tuning);
+  pump.connect_wedged(1);            // holds shard [0, 4)
+  pump.connect_dropping_records(2);  // shard [4, 8): records lost, dropped
+  EXPECT_FALSE(pump.done());
+  EXPECT_FALSE(pump.failed());
+  pump.connect(3);  // healthy survivor re-runs shard [4, 8), then idles
+  EXPECT_FALSE(pump.done());
+  pump.kill(1);  // shard [0, 4) forfeits straight to the idle survivor
+  EXPECT_TRUE(pump.done());
+  EXPECT_FALSE(pump.failed());
+  EXPECT_EQ(pump.finish(), reference_ndjson(scenario, options));
+}
+
+TEST(SweepMasterTest, PartialRecordsAreDeduplicatedOnReassignment) {
+  // Worker 1 dies after delivering 2 of its 4 records. The shard is
+  // requeued and re-run whole by worker 2, so records 0 and 1 arrive
+  // twice — the dedup ledger must drop the duplicates (the sink's
+  // push-exactly-once contract) and the bytes must not notice.
+  const Scenario scenario = compile(pump_spec());
+  RunOptions options;
+  options.threads = 1;
+  options.master_seed = 21;
+  MasterTuning tuning;
+  tuning.shard_size = 4;
+
+  Pump pump(scenario, options, tuning);
+  pump.connect_partial(1, 2);  // shard [0, 4): records 0, 1 delivered
+  pump.connect(2);             // runs shard [4, 8), then idles
+  EXPECT_FALSE(pump.done());
+  pump.kill(1);  // forfeits [0, 4); worker 2 re-runs it whole
+  EXPECT_TRUE(pump.done());
+  EXPECT_FALSE(pump.failed());
+  EXPECT_EQ(pump.finish(), reference_ndjson(scenario, options));
+}
+
+TEST(SweepMasterTest, RetryCapFailsTheRunLoudly) {
+  // Shard 0 is assigned three times (the cap) and its holder dies every
+  // time; the run must fail with the shard named, not spin forever.
+  const Scenario scenario = compile(pump_spec());
+  RunOptions options;
+  options.threads = 1;
+  MasterTuning tuning;
+  tuning.shard_size = 4;
+  tuning.max_shard_attempts = 3;
+
+  Pump pump(scenario, options, tuning);
+  pump.connect_wedged(1);  // attempt 1 of shard [0, 4)
+  pump.connect_wedged(2);  // holds shard [4, 8) so the queue stays empty
+  pump.kill(1);            // requeued, no idle worker to take it
+  EXPECT_FALSE(pump.failed());
+  pump.connect_wedged(3);  // attempt 2
+  pump.kill(3);
+  EXPECT_FALSE(pump.failed());
+  pump.connect_wedged(4);  // attempt 3 — the cap
+  pump.kill(4);
+  EXPECT_TRUE(pump.failed());
+  EXPECT_NE(pump.error().find("failed after 3 attempt(s)"), std::string::npos)
+      << pump.error();
+}
+
+TEST(SweepMasterTest, AllWorkersGoneFailsTheRun) {
+  const Scenario scenario = compile(pump_spec());
+  RunOptions options;
+  options.threads = 1;
+  MasterTuning tuning;
+  tuning.shard_size = 4;
+  tuning.max_shard_attempts = 100;  // never the cap; die of loneliness
+
+  Pump pump(scenario, options, tuning);
+  pump.connect_wedged(1);
+  pump.kill(1);
+  EXPECT_TRUE(pump.failed());
+  EXPECT_NE(pump.error().find("no workers left"), std::string::npos)
+      << pump.error();
+}
+
+TEST(SweepMasterTest, TimedOutShardIsReassignedToALiveWorker) {
+  const Scenario scenario = compile(pump_spec());
+  RunOptions options;
+  options.threads = 1;
+  options.master_seed = 21;
+  MasterTuning tuning;
+  tuning.shard_size = 8;  // one shard holds the whole run
+  tuning.shard_timeout_s = 5.0;
+
+  Pump pump(scenario, options, tuning);
+  pump.connect_wedged(1);  // accepts the shard, goes silent
+  pump.connect(2);         // idle: the queue is empty, the shard is out
+  EXPECT_FALSE(pump.done());
+  pump.tick(1.0);  // 1s elapsed: under the 5s timeout, nothing moves
+  EXPECT_FALSE(pump.done());
+  pump.tick(10.0);  // 11s: worker 1 forfeits; worker 2 picks the shard up
+  EXPECT_TRUE(pump.done());
+  EXPECT_FALSE(pump.failed());
+  EXPECT_EQ(pump.completed_shards(), 1u);
+  EXPECT_EQ(pump.finish(), reference_ndjson(scenario, options));
+}
+
+TEST(SweepMasterTest, SpecHashMismatchDropsTheWorker) {
+  const Scenario scenario = compile(pump_spec());
+  RunOptions options;
+  options.threads = 1;
+  MasterTuning tuning;
+
+  Pump pump(scenario, options, tuning);
+  const std::string message = pump.connect_bad_hello(1);
+  EXPECT_NE(message.find("spec hash mismatch"), std::string::npos) << message;
+  // Its only worker flunked the handshake with the whole queue
+  // outstanding, so the run fails rather than waiting forever.
+  EXPECT_TRUE(pump.failed());
+}
+
+// ------------------------------------------------------------ the worker
+
+Frame master_hello(const Scenario& scenario, std::uint64_t n_cases) {
+  const std::string text = runtime::serialize_spec(*scenario.spec);
+  HelloFrame hello;
+  hello.master_seed = 21;
+  hello.n_cases = n_cases;
+  hello.spec_text = text;
+  hello.spec_sha256 = util::sha256_hex(text);
+  return Frame{std::move(hello)};
+}
+
+TEST(SweepWorkerTest, AnswersHelloWithItsOwnRoundTripHash) {
+  const Scenario scenario = compile(pump_spec());
+  const std::string text = runtime::serialize_spec(*scenario.spec);
+  SweepWorker worker;
+  std::vector<Frame> out;
+  worker.on_frame(master_hello(scenario, 8), &out);
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_EQ(out[0].type(), FrameType::kHello);
+  const auto& ack = std::get<HelloFrame>(out[0].body);
+  // Canonical serialization: the worker's round trip reproduces the
+  // master's bytes, so the hashes agree and the reply carries no spec.
+  EXPECT_EQ(ack.spec_sha256, util::sha256_hex(text));
+  EXPECT_TRUE(ack.spec_text.empty());
+  EXPECT_FALSE(worker.finished());
+}
+
+TEST(SweepWorkerTest, RunsAShardAndReportsEveryCase) {
+  const Scenario scenario = compile(pump_spec());
+  SweepWorker worker;
+  std::vector<Frame> out;
+  worker.on_frame(master_hello(scenario, 8), &out);
+  out.clear();
+  worker.on_frame(Frame{ShardFrame{2, 3}}, &out);
+  ASSERT_EQ(out.size(), 4u);  // 3 kRecord + 1 kShardDone
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(out[i].type(), FrameType::kRecord);
+    EXPECT_EQ(std::get<RecordFrame>(out[i].body).case_index, 2 + i);
+  }
+  ASSERT_EQ(out[3].type(), FrameType::kShardDone);
+  EXPECT_EQ(std::get<ShardDoneFrame>(out[3].body),
+            (ShardDoneFrame{2, 3}));
+  EXPECT_EQ(worker.records_emitted(), 3u);
+  EXPECT_FALSE(worker.finished());
+}
+
+TEST(SweepWorkerTest, RejectsAnUnparseableSpec) {
+  HelloFrame hello;
+  hello.spec_text = "[session\nbroken";
+  hello.spec_sha256 = util::sha256_hex(hello.spec_text);
+  SweepWorker worker;
+  std::vector<Frame> out;
+  worker.on_frame(Frame{std::move(hello)}, &out);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.back().type(), FrameType::kError);
+  EXPECT_TRUE(worker.finished());
+  EXPECT_FALSE(worker.error().empty());
+}
+
+TEST(SweepWorkerTest, RejectsAShardPastThePlan) {
+  const Scenario scenario = compile(pump_spec());
+  SweepWorker worker;
+  std::vector<Frame> out;
+  worker.on_frame(master_hello(scenario, 8), &out);
+  out.clear();
+  worker.on_frame(Frame{ShardFrame{6, 10}}, &out);  // [6, 16) > 8 cases
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.back().type(), FrameType::kError);
+  EXPECT_TRUE(worker.finished());
+}
+
+TEST(SweepWorkerTest, ShardBeforeHelloIsAProtocolError) {
+  SweepWorker worker;
+  std::vector<Frame> out;
+  worker.on_frame(Frame{ShardFrame{0, 1}}, &out);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.back().type(), FrameType::kError);
+  EXPECT_TRUE(worker.finished());
+}
+
+TEST(SweepWorkerTest, ByeFinishesCleanly) {
+  SweepWorker worker;
+  std::vector<Frame> out;
+  worker.on_frame(Frame{ByeFrame{}}, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(worker.finished());
+  EXPECT_TRUE(worker.error().empty());
+}
+
+}  // namespace
+}  // namespace thinair::dist

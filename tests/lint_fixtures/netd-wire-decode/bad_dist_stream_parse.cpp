@@ -1,0 +1,16 @@
+// Fixture: a distributed-sweep IO driver picking frame fields straight
+// out of its receive buffer — the shape the dist/frame.h codec exists to
+// forbid. Length prefixes and type bytes must come from decode_frame()'s
+// total parse, never from raw stream indices.
+#include <cstdint>
+#include <vector>
+
+int shard_first(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 6) return -1;
+  // finding: raw byte picking out of the stream buffer
+  const int body_len = bytes[0] | (bytes[1] << 8);
+  if (body_len < 1) return -1;
+  // finding: reinterpret_cast framing of wire data
+  const auto* first = reinterpret_cast<const std::uint32_t*>(&bytes[5]);
+  return static_cast<int>(*first);
+}

@@ -1,0 +1,27 @@
+// Fixture: the approved distributed-sweep shape — feed received bytes to
+// a FrameReader and consume only the typed frames it yields. Field access
+// on the *decoded* frame is fine; the rule targets raw buffer indices.
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace dist {
+struct ShardFrame {
+  std::uint64_t first;
+  std::uint64_t count;
+};
+class FrameReader {
+ public:
+  void feed(std::span<const std::uint8_t> data);
+  std::optional<ShardFrame> next();
+};
+}  // namespace dist
+
+std::uint64_t total_cases(dist::FrameReader& reader,
+                          std::span<const std::uint8_t> received) {
+  reader.feed(received);
+  std::uint64_t cases = 0;
+  while (auto shard = reader.next()) cases += shard->count;
+  return cases;
+}

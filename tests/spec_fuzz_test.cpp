@@ -140,6 +140,19 @@ ScenarioSpec random_spec(std::uint64_t seed) {
   for (std::size_t i = 0; i < n_p; ++i)
     s.sweep.p_values.push_back(rnd_prob(rng));
   s.sweep.repeats = rnd_int(rng, 1, 30);
+  if (rng.next_byte() % 4 == 0) {
+    // The generic key axis: realistic dotted paths (the round trip does
+    // not compile the spec, so the target's validity is irrelevant here,
+    // but quoting/dots must survive the text form).
+    static constexpr const char* kKeys[] = {
+        "session.x_packets", "channel.p", "estimator.k_antennas",
+        "mac.slot_s"};
+    s.sweep.key = kKeys[rng.next_byte() % 4];
+    const std::size_t n_vals = rnd_int(rng, 1, 4);
+    for (std::size_t i = 0; i < n_vals; ++i)
+      s.sweep.values.push_back(static_cast<double>(i + 1) +
+                               static_cast<double>(rng.next_byte() % 4) / 4.0);
+  }
   const Baseline baselines[] = {Baseline::kGroup, Baseline::kUnicast,
                                 Baseline::kBoth};
   s.output.baseline = baselines[rng.next_byte() % 3];

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_dist.json against the checked-in snapshot.
+
+Usage: check_bench_dist.py BASELINE FRESH
+
+Prints per-worker-count deltas so the distributed sweep's throughput
+trajectory is visible in every PR's CI log. micro_dist itself already
+exits nonzero unless every fan-out's NDJSON was byte-identical to the
+single-process run, so by the time this script sees a fresh file the
+correctness gate has passed; what fails *here* is structural drift:
+
+  - a missing field, a malformed file, or an empty worker sweep;
+  - byte_identical anything but true (belt and braces — micro_dist
+    refuses to write the file otherwise);
+  - non-positive throughput, shard p50 > p99, or a worker count whose
+    shard tally does not cover the plan (shards * implied size < cases
+    would mean the master lost work without noticing).
+
+Deliberately NO scaling assertion: the CI container runs on one core,
+where 4 workers time-slice one CPU and fork/IPC overhead makes the
+fan-out *slower* than 1 worker. The numbers are for reading, not
+gating; docs/distributed.md explains what to expect on real hardware.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_RUN_KEYS = ("workers", "wall_s", "cases_per_s", "shards",
+                     "shard_p50_ms", "shard_p99_ms")
+
+
+def fail(msg):
+    print(f"check_bench_dist: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def per_workers(doc):
+    return {r["workers"]: r["cases_per_s"] for r in doc["runs"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    opts = parser.parse_args()
+
+    try:
+        with open(opts.baseline) as f:
+            base = json.load(f)
+        with open(opts.fresh) as f:
+            fresh = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load inputs: {e}")
+
+    for key in ("bench", "cases", "byte_identical", "runs"):
+        if key not in fresh:
+            fail(f"fresh output lost the '{key}' field")
+    if fresh["bench"] != "micro_dist":
+        fail(f"unexpected bench '{fresh['bench']}'")
+    if fresh["byte_identical"] is not True:
+        fail("byte_identical is not true: the fan-out changed output bytes")
+    if not fresh["runs"]:
+        fail("empty worker sweep")
+    if fresh["cases"] <= 0:
+        fail("non-positive case count")
+
+    for run in fresh["runs"]:
+        for key in REQUIRED_RUN_KEYS:
+            if key not in run:
+                fail(f"run entry lost the '{key}' field")
+        w = run["workers"]
+        if run["cases_per_s"] <= 0:
+            fail(f"non-positive cases/s at {w} worker(s)")
+        if run["shards"] <= 0:
+            fail(f"no completed shards at {w} worker(s)")
+        if run["shard_p50_ms"] > run["shard_p99_ms"]:
+            fail(f"shard p50 > p99 at {w} worker(s): percentiles malformed")
+
+    b, f = per_workers(base), per_workers(fresh)
+    print(f"[dist cases/s over {fresh['cases']} cases]")
+    for workers in sorted(f):
+        ref = b.get(workers)
+        delta = "" if ref in (None, 0) else \
+            f"  {100.0 * (f[workers] - ref) / ref:+6.1f}% vs snapshot"
+        print(f"  workers {workers:>2}: {f[workers]:12.0f} cases/s{delta}")
+    for run in fresh["runs"]:
+        print(f"[shards] workers {run['workers']}: {run['shards']} shards, "
+              f"round-trip p50 {run['shard_p50_ms']:.2f} ms / "
+              f"p99 {run['shard_p99_ms']:.2f} ms")
+    print("check_bench_dist: OK (byte-identical at every worker count)")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,6 +19,11 @@ hardware, so what *fails* the check is:
     lock-free result path's whole reason to exist. (The 2x acceptance
     figure holds on dedicated multi-core hardware; 1.5 leaves margin
     for shared CI vCPUs.)
+  - slab regression in the reorder probe: the drainer's reorder buffer
+    is backed by a slab arena (runtime/slab_alloc.h); the block-reversed
+    probe must show the free list actually recycling (>= 50% hit rate
+    once the run is much longer than one block) and chunk growth bounded
+    by the reorder window, not by total case count.
 """
 
 import argparse
@@ -74,6 +79,35 @@ def main():
     if fresh["push_p50_ns"] > fresh["push_p99_ns"]:
         fail("push p50 > p99: latency percentiles are malformed")
 
+    if "reorder" not in fresh:
+        fail("fresh output lost the 'reorder' probe")
+    reorder = fresh["reorder"]
+    for key in ("block", "cases", "cases_per_s", "peak_pending",
+                "slab_chunks", "slab_reserved_bytes", "slab_acquires",
+                "slab_freelist_hits"):
+        if key not in reorder:
+            fail(f"reorder probe lost the '{key}' field")
+    if reorder["cases_per_s"] <= 0:
+        fail("non-positive reorder probe throughput")
+    if reorder["peak_pending"] + 1 < min(reorder["block"], reorder["cases"]):
+        fail(f"reorder peak_pending {reorder['peak_pending']} below the "
+             f"forced window ({reorder['block']}-case blocks): the probe "
+             "is not exercising the reorder buffer")
+    if reorder["slab_acquires"] < reorder["peak_pending"]:
+        fail("slab acquires below peak_pending: stats are malformed")
+    if reorder["cases"] >= 4 * reorder["block"]:
+        hit_rate = reorder["slab_freelist_hits"] / max(reorder["slab_acquires"], 1)
+        if hit_rate < 0.5:
+            fail(f"slab free-list hit rate {hit_rate:.2f} < 0.5: the reorder "
+                 "buffer is allocating instead of recycling")
+        # Chunks must cover the window, not the whole run: allow 4x slack
+        # over the peak window's worth of nodes at a generous 512 B/node.
+        window_bytes = reorder["peak_pending"] * 512
+        if reorder["slab_reserved_bytes"] > max(4 * window_bytes, 1 << 20):
+            fail(f"slab reserved {reorder['slab_reserved_bytes']} bytes for a "
+                 f"{reorder['peak_pending']}-record window: chunk growth is "
+                 "tracking case count, not the reorder window")
+
     b, f = per_thread(base), per_thread(fresh)
     print("[engine cases/s]")
     for threads in sorted(f):
@@ -87,6 +121,12 @@ def main():
     print(f"[scaling] max-vs-1: {fresh['speedup_max_vs_1']:.2f}x on "
           f"{fresh['hardware_threads']} hardware threads "
           f"(snapshot {base['speedup_max_vs_1']:.2f}x)")
+    hits = reorder["slab_freelist_hits"] / max(reorder["slab_acquires"], 1)
+    print(f"[reorder] {reorder['cases_per_s']:.0f} cases/s through a "
+          f"{reorder['block']}-case window: peak {reorder['peak_pending']} "
+          f"pending, {reorder['slab_chunks']} slab chunk(s) "
+          f"({reorder['slab_reserved_bytes'] // 1024} KiB), "
+          f"{100 * hits:.1f}% free-list hits")
 
     if 1 in f and 1 in b and b[1] > 0:
         drop = (b[1] - f[1]) / b[1]

@@ -1,0 +1,144 @@
+#include "dist_cmd.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "dist/runner.h"
+#include "dist/stream.h"
+#include "run_common.h"
+#include "runtime/result_sink.h"
+#include "util/parse.h"
+
+namespace thinair::tools {
+
+namespace {
+
+/// "HOST:PORT" -> (host, port). Reports and returns false on anything
+/// else (missing colon, non-numeric or out-of-range port).
+bool split_host_port(const std::string& text, std::string& host,
+                     std::uint16_t& port) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0) {
+    std::fprintf(stderr, "want HOST:PORT, got '%s'\n", text.c_str());
+    return false;
+  }
+  std::uint64_t p = 0;
+  if (!util::parse_u64_in(text.c_str() + colon + 1, 0, 65535, p)) {
+    std::fprintf(stderr, "bad port in '%s'\n", text.c_str());
+    return false;
+  }
+  host = text.substr(0, colon);
+  port = static_cast<std::uint16_t>(p);
+  return true;
+}
+
+}  // namespace
+
+int cmd_sweep_master(int argc, char** argv) {
+  RunArgs args;
+  if (!parse_run_args(argc, argv, args)) return 2;
+  if (args.listen.empty()) {
+    std::fprintf(stderr, "sweep-master needs --listen HOST:PORT\n");
+    return 2;
+  }
+  if (args.workers == 0) {
+    std::fprintf(stderr,
+                 "sweep-master needs --workers N (how many to wait for)\n");
+    return 2;
+  }
+  std::string host;
+  std::uint16_t port = 0;
+  if (!split_host_port(args.listen, host, port)) return 2;
+
+  const std::optional<runtime::Scenario> scenario =
+      resolve_scenario(args.spec);
+  if (!scenario.has_value()) return 1;
+  const runtime::RunOptions options = pinned_options(*scenario, args);
+
+  std::ofstream file;
+  std::ostream* ndjson = nullptr;
+  if (!open_ndjson(args.out, file, ndjson)) return 1;
+
+  dist::MasterTuning tuning;
+  tuning.shard_size = args.shard_size;
+  tuning.shard_timeout_s = args.shard_timeout_s;
+
+  try {
+    dist::TcpListener listener(host, port);
+    // The smoke test greps this line for the ephemeral port.
+    std::fprintf(stderr, "sweep-master: listening on %s:%u (waiting for %zu "
+                 "worker(s))\n",
+                 host.c_str(), listener.port(), args.workers);
+    runtime::ResultSink sink(scenario->name, ndjson);
+    const runtime::RunStats stats = dist::run_distributed_listen(
+        *scenario, options, tuning, listener, args.workers, sink, &std::cerr);
+    print_run_tail(*scenario, sink, stats, args.quiet, ndjson == &std::cout,
+                   "worker");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep-master failed: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_sweep_worker(int argc, char** argv) {
+  std::string connect;
+  std::uint64_t connect_fd = 0;
+  bool have_fd = false;
+  std::uint64_t exit_after = 0;
+  for (int i = 0; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (flag == "--connect" && value != nullptr) {
+      connect = value;
+      ++i;
+    } else if (flag == "--connect-fd" && value != nullptr &&
+               util::parse_u64_in(value, 0, 1 << 20, connect_fd)) {
+      have_fd = true;
+      ++i;
+    } else if (flag == "--exit-after-records" && value != nullptr &&
+               util::parse_u64(value, exit_after)) {
+      ++i;
+    } else {
+      std::fprintf(stderr, "sweep-worker: bad flag %s\n", flag.c_str());
+      return 2;
+    }
+  }
+  if (connect.empty() == !have_fd) {
+    std::fprintf(stderr,
+                 "sweep-worker needs exactly one of --connect HOST:PORT or "
+                 "--connect-fd N\n");
+    return 2;
+  }
+
+  try {
+    if (have_fd)
+      return dist::run_worker_on_fd(
+          dist::StreamSocket(static_cast<int>(connect_fd)),
+          static_cast<std::size_t>(exit_after));
+    std::string host;
+    std::uint16_t port = 0;
+    if (!split_host_port(connect, host, port)) return 2;
+    return dist::run_worker_connect(host, port,
+                                    static_cast<std::size_t>(exit_after));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep-worker failed: %s\n", e.what());
+    return 1;
+  }
+}
+
+void dist_usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "       %s sweep-master --listen HOST:PORT --workers N\n"
+      "           NAME|--spec FILE [run flags] [--shard-size K]\n"
+      "           [--shard-timeout SECONDS]\n"
+      "       %s sweep-worker --connect HOST:PORT\n",
+      argv0, argv0);
+}
+
+}  // namespace thinair::tools

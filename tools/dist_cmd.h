@@ -1,0 +1,19 @@
+#pragma once
+// The distributed-sweep thinair subcommands:
+//
+//   thinair sweep-master — shard one scenario across TCP workers
+//   thinair sweep-worker — run shards for a master (TCP or inherited fd)
+//
+// `thinair run NAME --workers N` (the local fork/exec mode) lives in
+// cmd_run; these are the explicit multi-machine faces of the same
+// src/dist/ subsystem. Both return a process exit code.
+
+namespace thinair::tools {
+
+int cmd_sweep_master(int argc, char** argv);
+int cmd_sweep_worker(int argc, char** argv);
+
+/// Append the sweep-master/sweep-worker usage lines to the main usage.
+void dist_usage(const char* argv0);
+
+}  // namespace thinair::tools

@@ -3,6 +3,7 @@
 //
 //   $ thinair list
 //   $ thinair run fig2 --threads 8 --seed 42 --out fig2.ndjson
+//   $ thinair run fig2 --workers 4 --out fig2.ndjson
 //   $ thinair run fig2 --set channel.interference=off --limit 20
 //   $ thinair run --spec examples/specs/fig2_iid.toml --out -
 //   $ thinair describe headline
@@ -11,29 +12,31 @@
 // file (--spec), or either with dotted-path overrides (--set key=value) —
 // on the work-stealing engine and writes one NDJSON line per case to
 // --out ("-" = stdout), then prints per-group summary aggregates. Output
-// is bit-identical for any --threads value: case seeds derive from
-// (--seed, case index) and rows are emitted in case-index order. Timing
-// goes to stderr so stdout stays byte-comparable across runs. `describe`
-// dumps the resolved spec back out in spec-file syntax (a parse
-// round-trip), and `list` shows each scenario's parameter axes.
+// is bit-identical for any --threads value AND any --workers value:
+// case seeds derive from (--seed, case index) and rows are emitted in
+// case-index order. --workers N runs the sweep across N forked worker
+// processes (docs/distributed.md); sweep-master/sweep-worker are the
+// multi-machine flavour of the same split. Timing goes to stderr so
+// stdout stays byte-comparable across runs. `describe` dumps the
+// resolved spec back out in spec-file syntax (a parse round-trip), and
+// `list` shows each scenario's parameter axes.
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
-#include <sstream>
 #include <string>
-#include <utility>
-#include <vector>
 
+#include "dist_cmd.h"
+#include "dist/runner.h"
 #include "gf/kernels.h"
 #include "netd_cmd.h"
+#include "run_common.h"
 #include "runtime/engine.h"
 #include "runtime/result_sink.h"
 #include "runtime/scenarios.h"
 #include "runtime/spec_parse.h"
-#include "util/parse.h"
 
 namespace {
 
@@ -45,15 +48,19 @@ int usage(const char* argv0) {
       "usage: %s list\n"
       "       %s describe NAME|--spec FILE [--set key=value]...\n"
       "       %s run NAME|--spec FILE [--set key=value]...\n"
-      "           [--threads N] [--seed S] [--out FILE|-] [--limit K]\n"
-      "           [--quiet] [--kernel scalar|portable|ssse3|avx2|gfni|auto]\n"
+      "           [--threads N | --workers N] [--seed S] [--out FILE|-]\n"
+      "           [--limit K] [--quiet] [--shard-size K]\n"
+      "           [--kernel scalar|portable|ssse3|avx2|gfni|auto]\n"
       "       %s kernels\n",
       argv0, argv0, argv0, argv0);
   tools::netd_usage(argv0);
+  tools::dist_usage(argv0);
   std::fprintf(
       stderr,
       "--spec runs a scenario composed in a spec file (docs/scenarios.md);\n"
       "--set overrides one spec key by dotted path, e.g. channel.p=0.3.\n"
+      "--workers N forks N local worker processes; output is byte-identical\n"
+      "to any --threads run (docs/distributed.md).\n"
       "--kernel (or THINAIR_GF_KERNEL) retargets the GF(2^8) bulk kernels;\n"
       "output is byte-identical across kernels.\n"
       "serve/client run a live key agreement over UDP (docs/daemon.md).\n");
@@ -99,213 +106,35 @@ int cmd_list() {
   return 0;
 }
 
-/// How a run/describe names its scenario: a registered name, a spec
-/// file, or either plus --set overrides.
-struct SpecArgs {
-  std::string scenario;   // registered name ("" with --spec)
-  std::string spec_file;  // --spec FILE
-  std::vector<std::pair<std::string, std::string>> overrides;
-};
-
-/// Resolve the scenario a SpecArgs names, compiling specs and applying
-/// overrides. Prints the failure to stderr and returns nullopt on error.
-std::optional<runtime::Scenario> resolve_scenario(const SpecArgs& args) {
-  runtime::ScenarioSpec spec;
-  if (!args.spec_file.empty()) {
-    std::ifstream file(args.spec_file);
-    if (!file) {
-      std::fprintf(stderr, "cannot read spec file %s\n",
-                   args.spec_file.c_str());
-      return std::nullopt;
-    }
-    std::ostringstream text;
-    text << file.rdbuf();
-    try {
-      spec = runtime::parse_spec(text.str());
-    } catch (const runtime::SpecError& e) {
-      std::fprintf(stderr, "%s: %s\n", args.spec_file.c_str(), e.what());
-      return std::nullopt;
-    }
-  } else {
-    const runtime::Scenario* registered =
-        runtime::ScenarioRegistry::instance().find(args.scenario);
-    if (registered == nullptr) {
-      std::fprintf(stderr, "unknown scenario '%s' (see `thinair list`)\n",
-                   args.scenario.c_str());
-      return std::nullopt;
-    }
-    if (args.overrides.empty()) return *registered;
-    if (registered->spec == nullptr) {
-      std::fprintf(stderr,
-                   "scenario '%s' is hand-written (no spec); --set needs a "
-                   "spec-defined scenario\n",
-                   args.scenario.c_str());
-      return std::nullopt;
-    }
-    spec = *registered->spec;
+int cmd_run(const tools::RunArgs& args) {
+  if (!args.listen.empty()) {
+    std::fprintf(stderr, "--listen belongs to sweep-master, not run\n");
+    return 2;
   }
-
-  for (const auto& [key, value] : args.overrides) {
-    try {
-      runtime::apply_override(spec, key, value);
-    } catch (const runtime::SpecError& e) {
-      std::fprintf(stderr, "--set %s=%s: %s\n", key.c_str(), value.c_str(),
-                   e.what());
-      return std::nullopt;
-    }
-  }
-  try {
-    return runtime::compile(spec);
-  } catch (const std::invalid_argument& e) {
-    std::fprintf(stderr, "invalid spec: %s\n", e.what());
-    return std::nullopt;
-  }
-}
-
-struct RunArgs {
-  SpecArgs spec;
-  runtime::RunOptions options;
-  std::string out;     // empty = no NDJSON, "-" = stdout
-  bool quiet = false;  // suppress the summary table
-  // Whether the flag was given explicitly: a spec's [run] section pins
-  // seed/threads only when the corresponding flag is absent (flags win).
-  bool seed_given = false;
-  bool threads_given = false;
-};
-
-/// Strict decimal parse (util::parse_u64) — rejects empty strings,
-/// whitespace, '+'/'-' signs, trailing garbage and 64-bit overflow, so
-/// `--seed banana` and `--threads -1` fail loudly instead of silently
-/// running seed 0 or requesting 2^64 - 1 threads.
-bool parse_u64(const char* text, std::uint64_t& out) {
-  return text != nullptr && util::parse_u64(text, out);
-}
-
-/// Shared by run and describe: scenario NAME / --spec / --set. Returns
-/// -1 when `flag` is not a spec-selection argument.
-int parse_spec_arg(SpecArgs& args, const std::string& flag,
-                   const char* value) {
-  if (flag == "--spec") {
-    if (value == nullptr) return 1;
-    args.spec_file = value;
-    return 0;
-  }
-  if (flag == "--set") {
-    if (value == nullptr) return 1;
-    const std::string assignment = value;
-    const std::size_t eq = assignment.find('=');
-    if (eq == std::string::npos || eq == 0) {
-      std::fprintf(stderr, "--set %s: want key=value\n", value);
-      return 1;
-    }
-    args.overrides.emplace_back(assignment.substr(0, eq),
-                                assignment.substr(eq + 1));
-    return 0;
-  }
-  if (!flag.starts_with("--")) {
-    if (!args.scenario.empty()) {
-      std::fprintf(stderr, "two scenario names: %s and %s\n",
-                   args.scenario.c_str(), flag.c_str());
-      return 1;
-    }
-    args.scenario = flag;
-    return 0;
-  }
-  return -1;
-}
-
-bool parse_run_args(int argc, char** argv, RunArgs& args) {
-  for (int i = 0; i < argc; ++i) {
-    const std::string flag = argv[i];
-    const auto value = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
-    const auto bad_number = [&flag](const char* v) {
-      std::fprintf(stderr, "%s: not a number: %s\n", flag.c_str(),
-                   v == nullptr ? "(missing)" : v);
-      return false;
-    };
-    if (flag == "--spec" || flag == "--set" || !flag.starts_with("--")) {
-      const char* v = flag.starts_with("--") ? value() : nullptr;
-      if (parse_spec_arg(args.spec, flag, v) != 0) return false;
-    } else if (flag == "--quiet") {
-      args.quiet = true;
-    } else if (flag == "--threads") {
-      std::uint64_t n = 0;
-      const char* v = value();
-      if (v == nullptr ||
-          !util::parse_u64_in(v, 0, runtime::kMaxRunThreads, n)) {
-        std::fprintf(stderr,
-                     "--threads %s: want an integer in [0, %zu] (0 = auto)\n",
-                     v == nullptr ? "(missing)" : v, runtime::kMaxRunThreads);
-        return false;
-      }
-      args.options.threads = n;
-      args.threads_given = true;
-    } else if (flag == "--seed") {
-      const char* v = value();
-      if (!parse_u64(v, args.options.master_seed)) return bad_number(v);
-      args.seed_given = true;
-    } else if (flag == "--limit") {
-      std::uint64_t n = 0;
-      const char* v = value();
-      if (!parse_u64(v, n)) return bad_number(v);
-      args.options.limit = n;
-    } else if (flag == "--out") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      args.out = v;
-    } else if (flag == "--kernel") {
-      const char* v = value();
-      if (v == nullptr || !gf::set_active_kernel(v)) {
-        std::fprintf(stderr,
-                     "--kernel %s: unknown or unsupported on this CPU "
-                     "(see `thinair kernels`)\n",
-                     v == nullptr ? "(missing)" : v);
-        return false;
-      }
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
-      return false;
-    }
-  }
-  return args.spec.scenario.empty() != args.spec.spec_file.empty();
-}
-
-int cmd_run(const RunArgs& args) {
   const std::optional<runtime::Scenario> scenario =
-      resolve_scenario(args.spec);
+      tools::resolve_scenario(args.spec);
   if (!scenario.has_value()) return 1;
-
-  // Spec-level execution pinning ([run] seed/threads): the spec decides
-  // unless the flag was given explicitly. Hand-written scenarios have no
-  // spec and keep the CLI defaults.
-  runtime::RunOptions options = args.options;
-  if (scenario->spec != nullptr) {
-    const runtime::RunSpec& pinned = scenario->spec->run;
-    if (!args.seed_given && pinned.seed.has_value())
-      options.master_seed = *pinned.seed;
-    if (!args.threads_given && pinned.threads.has_value())
-      options.threads = *pinned.threads;
-  }
+  const runtime::RunOptions options = tools::pinned_options(*scenario, args);
 
   std::ofstream file;
   std::ostream* ndjson = nullptr;
-  if (args.out == "-") {
-    ndjson = &std::cout;
-  } else if (!args.out.empty()) {
-    file.open(args.out, std::ios::trunc);
-    if (!file) {
-      std::fprintf(stderr, "cannot open %s\n", args.out.c_str());
-      return 1;
-    }
-    ndjson = &file;
-  }
+  if (!tools::open_ndjson(args.out, file, ndjson)) return 1;
 
   runtime::ResultSink sink(scenario->name, ndjson);
   runtime::RunStats stats;
   try {
-    stats = runtime::run_scenario(*scenario, options, sink);
+    if (args.workers > 0) {
+      dist::MasterTuning tuning;
+      tuning.shard_size = args.shard_size;
+      tuning.shard_timeout_s = args.shard_timeout_s;
+      dist::LocalSpawnOptions spawn;
+      spawn.workers = args.workers;
+      spawn.kill_worker0_after_records = args.test_kill_worker_after;
+      stats = dist::run_distributed_local(*scenario, options, tuning, spawn,
+                                          sink);
+    } else {
+      stats = runtime::run_scenario(*scenario, options, sink);
+    }
   } catch (const std::exception& e) {
     // The engine funnels worker exceptions back to this thread; report
     // them as an error instead of letting main() terminate.
@@ -313,32 +142,24 @@ int cmd_run(const RunArgs& args) {
     return 1;
   }
 
-  if (!args.quiet && ndjson != &std::cout) {
-    std::printf("%s — %s\n\n", scenario->name.c_str(),
-                scenario->description.c_str());
-    sink.print_summary(std::cout);
-  }
-  if (stats.truncated())
-    std::fprintf(stderr,
-                 "warning: --limit truncated %s: ran %zu of %zu cases; "
-                 "group summaries are partial\n",
-                 scenario->name.c_str(), stats.cases, stats.plan_cases);
-  std::fprintf(stderr, "%zu cases on %zu thread(s) in %.2fs (%.1f cases/s)\n",
-               stats.cases, stats.threads, stats.wall_s, stats.cases_per_s());
+  tools::print_run_tail(*scenario, sink, stats, args.quiet,
+                        ndjson == &std::cout,
+                        args.workers > 0 ? "worker" : "thread");
   return 0;
 }
 
 int cmd_describe(int argc, char** argv) {
-  SpecArgs args;
+  tools::SpecArgs args;
   for (int i = 0; i < argc; ++i) {
     const std::string flag = argv[i];
     const char* value =
         flag.starts_with("--") && i + 1 < argc ? argv[++i] : nullptr;
-    if (parse_spec_arg(args, flag, value) != 0) return 2;
+    if (tools::parse_spec_arg(args, flag, value) != 0) return 2;
   }
   if (args.scenario.empty() == args.spec_file.empty()) return 2;
 
-  const std::optional<runtime::Scenario> scenario = resolve_scenario(args);
+  const std::optional<runtime::Scenario> scenario =
+      tools::resolve_scenario(args);
   if (!scenario.has_value()) return 1;
   if (scenario->spec == nullptr) {
     std::fprintf(stderr, "scenario '%s' is hand-written (no spec)\n",
@@ -363,9 +184,10 @@ int main(int argc, char** argv) {
     return rc == 2 ? usage(argv[0]) : rc;
   }
   if (command == "run") {
-    RunArgs args;
-    if (!parse_run_args(argc - 2, argv + 2, args)) return usage(argv[0]);
-    return cmd_run(args);
+    tools::RunArgs args;
+    if (!tools::parse_run_args(argc - 2, argv + 2, args)) return usage(argv[0]);
+    const int rc = cmd_run(args);
+    return rc == 2 ? usage(argv[0]) : rc;
   }
   if (command == "serve") {
     const int rc = tools::cmd_serve(argc - 2, argv + 2);
@@ -373,6 +195,14 @@ int main(int argc, char** argv) {
   }
   if (command == "client") {
     const int rc = tools::cmd_client(argc - 2, argv + 2);
+    return rc == 2 ? usage(argv[0]) : rc;
+  }
+  if (command == "sweep-master") {
+    const int rc = tools::cmd_sweep_master(argc - 2, argv + 2);
+    return rc == 2 ? usage(argv[0]) : rc;
+  }
+  if (command == "sweep-worker") {
+    const int rc = tools::cmd_sweep_worker(argc - 2, argv + 2);
     return rc == 2 ? usage(argv[0]) : rc;
   }
   return usage(argv[0]);

@@ -22,11 +22,13 @@ depends on, but that no general-purpose tool knows to look for:
   raw-alloc-hot-path    Payload memory in the per-round hot paths comes
                         from PayloadArena bumps; raw new/malloc there
                         defeats the arena and fragments the round loop.
-  netd-wire-decode      Daemon code consumes datagrams only through
-                        wire.h's total decode() (and udp.h for the socket
-                        syscalls). Ad-hoc byte picking or reinterpret_cast
-                        framing bypasses the validated parse that the
-                        anti-spoofing argument rests on.
+  netd-wire-decode      Daemon and distributed-sweep code consume wire
+                        bytes only through a total decoder (netd/wire.h's
+                        decode(), dist/frame.h's decode_frame) plus the
+                        socket wrappers (netd/udp, dist/stream). Ad-hoc
+                        byte picking or reinterpret_cast framing bypasses
+                        the validated parse that the anti-spoofing and
+                        fault-tolerance arguments rest on.
 
 Usage:
   thinair_lint.py --compile-commands build/compile_commands.json
@@ -309,10 +311,19 @@ RULES = [
     Rule(
         "netd-wire-decode",
         rule_netd_wire_decode,
-        scope=[r"^src/netd/"],
-        # wire.cpp IS the decoder; udp.{h,cpp} wraps the socket syscalls
-        # whose sockaddr API requires reinterpret_cast.
-        exclude=[r"^src/netd/wire\.(h|cpp)$", r"^src/netd/udp\.(h|cpp)$"],
+        # The distributed-sweep subsystem adopts the same discipline: IO
+        # drivers and the master/worker cores handle decoded Frame
+        # values, never raw stream indices.
+        scope=[r"^src/netd/", r"^src/dist/"],
+        # wire.cpp and dist/frame.cpp ARE the decoders; udp.{h,cpp} and
+        # dist/stream.{h,cpp} wrap the socket syscalls whose sockaddr
+        # API requires reinterpret_cast.
+        exclude=[
+            r"^src/netd/wire\.(h|cpp)$",
+            r"^src/netd/udp\.(h|cpp)$",
+            r"^src/dist/frame\.(h|cpp)$",
+            r"^src/dist/stream\.(h|cpp)$",
+        ],
     ),
 ]
 
