@@ -14,6 +14,8 @@
 //
 //   usage: micro_daemon [--sessions K] [--packets N] [--deadline SEC]
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -44,7 +46,47 @@ struct Options {
   std::size_t packets = 12;  // N per round; small keeps the focus on the
                              // daemon's relay path, not GF(2^8) math
   double deadline_s = 120.0;
+  // Filled in by clamp_to_fd_limit before the run starts.
+  std::size_t requested_sessions = 0;
+  std::size_t fd_limit = 0;
+  bool fd_clamped = false;
 };
+
+// The client pool opens one socket per terminal (2 per session), so an
+// unchecked --sessions dies on EMFILE mid-run — after the daemon thread
+// is up and half the pool is built. Probe RLIMIT_NOFILE up front: raise
+// the soft limit to the hard limit if that is enough, otherwise clamp
+// the session count (loudly) so the run completes and reports honestly.
+// Records the limit in effect and whether sessions shrank in `opt`.
+void clamp_to_fd_limit(Options& opt) {
+  opt.requested_sessions = opt.sessions;
+  // daemon socket + epoll fd + stdio + JSON output + slack
+  constexpr std::size_t kOverheadFds = 16;
+  rlimit rl{};
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return;
+  const std::size_t needed = opt.sessions * 2 + kOverheadFds;
+  if (rl.rlim_cur < needed && rl.rlim_max > rl.rlim_cur) {
+    rlimit raised = rl;
+    raised.rlim_cur = rl.rlim_max == RLIM_INFINITY
+                          ? static_cast<rlim_t>(needed)
+                          : std::min<rlim_t>(rl.rlim_max,
+                                             static_cast<rlim_t>(needed));
+    if (setrlimit(RLIMIT_NOFILE, &raised) == 0) rl = raised;
+  }
+  const std::size_t limit = static_cast<std::size_t>(rl.rlim_cur);
+  opt.fd_limit = limit;
+  if (limit < needed) {
+    const std::size_t fit = limit > kOverheadFds ? (limit - kOverheadFds) / 2
+                                                 : 0;
+    std::fprintf(stderr,
+                 "micro_daemon: WARNING: RLIMIT_NOFILE=%zu cannot hold %zu "
+                 "sessions (2 fds each + %zu overhead); clamping --sessions "
+                 "%zu -> %zu. Raise `ulimit -n` to run the full load.\n",
+                 limit, opt.sessions, kOverheadFds, opt.sessions, fit);
+    opt.sessions = fit;
+    opt.fd_clamped = true;
+  }
+}
 
 // One terminal: its socket, its protocol state machine, its timing.
 struct ClientSlot {
@@ -207,6 +249,9 @@ int run_bench(const Options& opt) {
                "{\n"
                "  \"bench\": \"micro_daemon\",\n"
                "  \"sessions\": %zu,\n"
+               "  \"requested_sessions\": %zu,\n"
+               "  \"fd_limit\": %zu,\n"
+               "  \"fd_clamped\": %s,\n"
                "  \"completed\": %zu,\n"
                "  \"with_nonzero_secret\": %zu,\n"
                "  \"x_packets_per_round\": %zu,\n"
@@ -218,7 +263,9 @@ int run_bench(const Options& opt) {
                "  \"frames_relayed\": %llu,\n"
                "  \"epoll\": %s\n"
                "}\n",
-               opt.sessions, completed, with_secret, opt.packets, p50, p99,
+               opt.sessions, opt.requested_sessions, opt.fd_limit,
+               opt.fd_clamped ? "true" : "false", completed, with_secret,
+               opt.packets, p50, p99,
                rate, wall_s,
                static_cast<unsigned long long>(hs.datagrams_in.load()),
                static_cast<unsigned long long>(hs.frames_relayed.load()),
@@ -260,5 +307,10 @@ int main(int argc, char** argv) {
     }
   }
   if (opt.sessions == 0 || opt.packets == 0) return 2;
+  clamp_to_fd_limit(opt);
+  if (opt.sessions == 0) {
+    std::fprintf(stderr, "micro_daemon: fd limit too low for any session\n");
+    return 1;
+  }
   return run_bench(opt);
 }

@@ -44,23 +44,34 @@ double SessionResult::secret_rate_bps() const {
 
 GroupSecretSession::GroupSecretSession(net::Medium& medium,
                                        SessionConfig config)
-    : medium_(medium), config_(config) {
-  if (medium_.terminals().size() < 2)
+    : medium_(&medium) {
+  reset(medium, std::move(config));
+}
+
+void GroupSecretSession::reset(net::Medium& medium, SessionConfig config) {
+  if (medium.terminals().size() < 2)
     throw std::invalid_argument("GroupSecretSession: need >= 2 terminals");
-  if (config_.x_packets_per_round == 0)
+  if (config.x_packets_per_round == 0)
     throw std::invalid_argument("GroupSecretSession: N == 0");
-  if (config_.payload_bytes == 0)
+  if (config.payload_bytes == 0)
     throw std::invalid_argument("GroupSecretSession: empty payloads");
+  medium_ = &medium;
+  config_ = std::move(config);
+  next_round_ = 0;
+  // Keep the owned arena's blocks warm for the next lifecycle, but apply
+  // the watermark policy so one pathological session cannot pin its peak.
+  owned_arena_.reset();
+  owned_arena_.trim_to_watermark();
 }
 
 SessionResult GroupSecretSession::run() {
-  const auto terminals = medium_.terminals();
+  const auto terminals = medium_->terminals();
   const std::size_t rounds =
       config_.rounds == 0 ? terminals.size() : config_.rounds;
 
   SessionResult result;
-  const net::Ledger ledger_before = medium_.ledger();
-  const double time_before = medium_.now();
+  const net::Ledger ledger_before = medium_->ledger();
+  const double time_before = medium_->now();
 
   for (std::size_t r = 0; r < rounds; ++r) {
     const packet::NodeId alice =
@@ -69,8 +80,8 @@ SessionResult GroupSecretSession::run() {
         run_round(alice, packet::RoundId{next_round_++}, result));
   }
 
-  result.ledger = medium_.ledger().since(ledger_before);
-  result.duration_s = medium_.now() - time_before;
+  result.ledger = medium_->ledger().since(ledger_before);
+  result.duration_s = medium_->now() - time_before;
   return result;
 }
 
@@ -87,28 +98,30 @@ RoundOutcome GroupSecretSession::run_round(packet::NodeId alice,
   arena.reset();
 
   // Phase 1, steps 1-2.
-  const RoundContext ctx = open_round(medium_, alice, round, n, payload, arena);
+  const RoundContext ctx =
+      open_round(*medium_, alice, round, n, payload, arena);
 
   // Phase 1, steps 3-4: the y-pool and its public identities.
-  std::vector<std::size_t> receiver_cells;
+  receiver_cells_.clear();
   if (!config_.estimator.occupied_cells.empty())
     for (packet::NodeId r : ctx.receivers)
-      receiver_cells.push_back(config_.estimator.occupied_cells.at(r.value));
+      receiver_cells_.push_back(config_.estimator.occupied_cells.at(r.value));
   const auto estimator =
       build_estimator(config_.estimator, ctx.table, ctx.eve_indices,
-                      ctx.slot_of, receiver_cells);
+                      ctx.slot_of, receiver_cells_);
   const Phase1Result phase1 =
       run_phase1(ctx.table, *estimator, config_.pool_strategy);
   const YPool& pool = phase1.build.pool;
 
-  {
-    packet::Packet pkt{.kind = packet::Kind::kAnnouncement,
-                       .source = alice,
-                       .round = round,
-                       .seq = packet::PacketSeq{0},
-                       .payload = packet::encode(phase1.announcement)};
-    net::reliable_broadcast(medium_, alice, pkt, net::TrafficClass::kControl);
-  }
+  // Broadcasts reuse one scratch packet: its payload buffer keeps its
+  // capacity across rounds and pooled lifetimes.
+  scratch_pkt_.kind = packet::Kind::kAnnouncement;
+  scratch_pkt_.source = alice;
+  scratch_pkt_.round = round;
+  scratch_pkt_.seq = packet::PacketSeq{0};
+  packet::encode_into(phase1.announcement, scratch_pkt_.payload);
+  net::reliable_broadcast(*medium_, alice, scratch_pkt_,
+                          net::TrafficClass::kControl);
 
   // Phase 2: z-packets (contents) and s-packet identities.
   const Phase2Plan plan = plan_phase2(pool);
@@ -117,22 +130,19 @@ RoundOutcome GroupSecretSession::run_round(packet::NodeId alice,
   const std::vector<packet::ConstByteSpan> z_payloads =
       make_z_payloads(plan, y_contents, payload, arena);
 
+  scratch_pkt_.kind = packet::Kind::kCoded;
   for (std::size_t zi = 0; zi < z_payloads.size(); ++zi) {
-    packet::Packet pkt{.kind = packet::Kind::kCoded,
-                       .source = alice,
-                       .round = round,
-                       .seq = packet::PacketSeq{static_cast<std::uint32_t>(zi)},
-                       .payload = packet::Payload(z_payloads[zi].begin(),
-                                                  z_payloads[zi].end())};
-    net::reliable_broadcast(medium_, alice, pkt, net::TrafficClass::kCoded);
+    scratch_pkt_.seq = packet::PacketSeq{static_cast<std::uint32_t>(zi)};
+    scratch_pkt_.payload.assign(z_payloads[zi].begin(), z_payloads[zi].end());
+    net::reliable_broadcast(*medium_, alice, scratch_pkt_,
+                            net::TrafficClass::kCoded);
   }
   if (plan.group_size > 0) {
-    packet::Packet pkt{.kind = packet::Kind::kAnnouncement,
-                       .source = alice,
-                       .round = round,
-                       .seq = packet::PacketSeq{1},
-                       .payload = packet::encode(plan.s_announcement)};
-    net::reliable_broadcast(medium_, alice, pkt, net::TrafficClass::kControl);
+    scratch_pkt_.kind = packet::Kind::kAnnouncement;
+    scratch_pkt_.seq = packet::PacketSeq{1};
+    packet::encode_into(plan.s_announcement, scratch_pkt_.payload);
+    net::reliable_broadcast(*medium_, alice, scratch_pkt_,
+                            net::TrafficClass::kControl);
   }
 
   const std::vector<packet::ConstByteSpan> s_payloads =

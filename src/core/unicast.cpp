@@ -12,23 +12,32 @@
 namespace thinair::core {
 
 UnicastSession::UnicastSession(net::Medium& medium, SessionConfig config)
-    : medium_(medium), config_(config) {
-  if (medium_.terminals().size() < 2)
+    : medium_(&medium) {
+  reset(medium, std::move(config));
+}
+
+void UnicastSession::reset(net::Medium& medium, SessionConfig config) {
+  if (medium.terminals().size() < 2)
     throw std::invalid_argument("UnicastSession: need >= 2 terminals");
-  if (config_.x_packets_per_round == 0)
+  if (config.x_packets_per_round == 0)
     throw std::invalid_argument("UnicastSession: N == 0");
-  if (config_.payload_bytes == 0)
+  if (config.payload_bytes == 0)
     throw std::invalid_argument("UnicastSession: empty payloads");
+  medium_ = &medium;
+  config_ = std::move(config);
+  next_round_ = 0;
+  owned_arena_.reset();
+  owned_arena_.trim_to_watermark();
 }
 
 SessionResult UnicastSession::run() {
-  const auto terminals = medium_.terminals();
+  const auto terminals = medium_->terminals();
   const std::size_t rounds =
       config_.rounds == 0 ? terminals.size() : config_.rounds;
 
   SessionResult result;
-  const net::Ledger ledger_before = medium_.ledger();
-  const double time_before = medium_.now();
+  const net::Ledger ledger_before = medium_->ledger();
+  const double time_before = medium_->now();
 
   for (std::size_t r = 0; r < rounds; ++r) {
     const packet::NodeId alice =
@@ -37,8 +46,8 @@ SessionResult UnicastSession::run() {
         run_round(alice, packet::RoundId{next_round_++}, result));
   }
 
-  result.ledger = medium_.ledger().since(ledger_before);
-  result.duration_s = medium_.now() - time_before;
+  result.ledger = medium_->ledger().since(ledger_before);
+  result.duration_s = medium_->now() - time_before;
   return result;
 }
 
@@ -53,14 +62,14 @@ RoundOutcome UnicastSession::run_round(packet::NodeId alice,
 
   // Phase 1 is identical to the group algorithm.
   const RoundContext ctx =
-      open_round(medium_, alice, round, n, payload, arena);
-  std::vector<std::size_t> receiver_cells;
+      open_round(*medium_, alice, round, n, payload, arena);
+  receiver_cells_.clear();
   if (!config_.estimator.occupied_cells.empty())
     for (packet::NodeId r : ctx.receivers)
-      receiver_cells.push_back(config_.estimator.occupied_cells.at(r.value));
+      receiver_cells_.push_back(config_.estimator.occupied_cells.at(r.value));
   const auto estimator =
       build_estimator(config_.estimator, ctx.table, ctx.eve_indices,
-                      ctx.slot_of, receiver_cells);
+                      ctx.slot_of, receiver_cells_);
   const Phase1Result phase1 =
       run_phase1(ctx.table, *estimator, config_.pool_strategy);
   const YPool& pool = phase1.build.pool;
@@ -71,7 +80,7 @@ RoundOutcome UnicastSession::run_round(packet::NodeId alice,
                        .round = round,
                        .seq = packet::PacketSeq{0},
                        .payload = packet::encode(phase1.announcement)};
-    net::reliable_broadcast(medium_, alice, pkt, net::TrafficClass::kControl);
+    net::reliable_broadcast(*medium_, alice, pkt, net::TrafficClass::kControl);
   }
 
   // The group secret is L y-packets known to the first receiver; every
@@ -155,7 +164,7 @@ RoundOutcome UnicastSession::run_round(packet::NodeId alice,
           .round = round,
           .seq = packet::PacketSeq{static_cast<std::uint32_t>(j)},
           .payload = std::move(body)};
-      net::reliable_unicast(medium_, alice, ctx.receivers[ri], pkt,
+      net::reliable_unicast(*medium_, alice, ctx.receivers[ri], pkt,
                             net::TrafficClass::kCipher);
     }
     eve.observe_combinations(cipher_rows);

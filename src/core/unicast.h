@@ -21,6 +21,10 @@ class UnicastSession {
  public:
   UnicastSession(net::Medium& medium, SessionConfig config);
 
+  /// Restore construction-equivalent state on a new medium/config —
+  /// the same pooled-lifecycle contract as GroupSecretSession::reset().
+  void reset(net::Medium& medium, SessionConfig config);
+
   SessionResult run();
 
   [[nodiscard]] const SessionConfig& config() const { return config_; }
@@ -33,10 +37,11 @@ class UnicastSession {
     return config_.arena != nullptr ? *config_.arena : owned_arena_;
   }
 
-  net::Medium& medium_;
+  net::Medium* medium_;  // never null; reset() rebinds
   SessionConfig config_;
   packet::PayloadArena owned_arena_;  // used when config_.arena is null
   std::uint32_t next_round_ = 0;
+  std::vector<std::size_t> receiver_cells_;  // per-round scratch
 };
 
 }  // namespace thinair::core

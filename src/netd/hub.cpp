@@ -70,15 +70,15 @@ void SessionHub::on_datagram(std::span<const std::uint8_t> bytes, double now_s,
                                            f.header.node))});
         return;
       }
-      it->second.last_active_s = now_s;
-      handle_broadcast(it->second, f, out);
+      it->second->last_active_s = now_s;
+      handle_broadcast(*it->second, f, out);
       return;
     }
     case FrameType::kNack: {
       auto it = sessions_.find(id);
       if (it == sessions_.end()) return;
-      it->second.last_active_s = now_s;
-      handle_nack(it->second, f, out);
+      it->second->last_active_s = now_s;
+      handle_nack(*it->second, f, out);
       return;
     }
     case FrameType::kBye: {
@@ -91,8 +91,8 @@ void SessionHub::on_datagram(std::span<const std::uint8_t> bytes, double now_s,
                                            f.header.node))});
         return;
       }
-      it->second.last_active_s = now_s;
-      handle_bye(id, it->second, f, out);
+      it->second->last_active_s = now_s;
+      handle_bye(id, *it->second, f, out);
       return;
     }
     default:
@@ -124,14 +124,14 @@ void SessionHub::handle_attach(const Frame& f, double now_s,
       return;
     }
     it = sessions_
-             .emplace(id, Session(channel::Rng(
+             .emplace(id, session_pool_.acquire_scoped(channel::Rng(
                               runtime::derive_seed(config_.seed, id))))
              .first;
-    it->second.expected = expected;
+    it->second->expected = expected;
     stats_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
     wheel_.schedule(id, now_s + config_.idle_timeout_s);
   }
-  Session& s = it->second;
+  Session& s = *it->second;
   s.last_active_s = now_s;
 
   auto send_ready = [&](std::uint16_t to) {
@@ -313,7 +313,7 @@ void SessionHub::handle_bye(std::uint64_t id, Session& s, const Frame& f,
 void SessionHub::expire_session(std::uint64_t id, std::vector<Outgoing>& out) {
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return;
-  for (const auto& [mid, member] : it->second.members)
+  for (const auto& [mid, member] : it->second->members)
     out.push_back({id, mid, encode(make_control(FrameType::kExpired, id,
                                                 mid))});
   sessions_.erase(it);
@@ -325,7 +325,7 @@ void SessionHub::on_tick(double now_s, std::vector<Outgoing>& out) {
   for (const TimerWheel::Entry& entry : wheel_.advance(now_s)) {
     auto it = sessions_.find(entry.id);
     if (it == sessions_.end()) continue;  // closed since scheduling
-    const double deadline = it->second.last_active_s + config_.idle_timeout_s;
+    const double deadline = it->second->last_active_s + config_.idle_timeout_s;
     if (deadline <= now_s) {
       expire_session(entry.id, out);
     } else {
@@ -334,10 +334,15 @@ void SessionHub::on_tick(double now_s, std::vector<Outgoing>& out) {
   }
 }
 
+runtime::PoolCounters SessionHub::session_pool_counters() const {
+  util::MutexLock lock(&mu_);
+  return session_pool_.stats().snapshot();
+}
+
 const net::Ledger* SessionHub::session_ledger(std::uint64_t id) const {
   util::MutexLock lock(&mu_);
   auto it = sessions_.find(id);
-  return it == sessions_.end() ? nullptr : &it->second.ledger;
+  return it == sessions_.end() ? nullptr : &it->second->ledger;
 }
 
 }  // namespace thinair::netd

@@ -48,6 +48,7 @@
 #include "net/medium.h"
 #include "netd/timer_wheel.h"
 #include "netd/wire.h"
+#include "runtime/object_pool.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -113,6 +114,10 @@ class SessionHub {
   /// exposed for tests and the bench's sanity checks.
   [[nodiscard]] const net::Ledger* session_ledger(std::uint64_t id) const;
 
+  /// Counters of the session free-list pool (create/destroy churn reuses
+  /// session records instead of rebuilding them).
+  [[nodiscard]] runtime::PoolCounters session_pool_counters() const;
+
  private:
   struct AckKey {
     std::uint8_t type = 0;
@@ -142,7 +147,20 @@ class SessionHub {
     std::map<std::uint16_t, Member> members;
 
     explicit Session(channel::Rng r) : rng(r) {}
+
+    /// Construction-equivalent state for pooled reuse (every field a
+    /// fresh Session(r) would hold — the runtime::ObjectPool contract).
+    void reset(channel::Rng r) {
+      expected = 0;
+      ready = false;
+      rng = r;
+      air_s = 0.0;
+      last_active_s = 0.0;
+      ledger = net::Ledger{};
+      members.clear();
+    }
   };
+  using SessionHandle = runtime::ObjectPool<Session>::Handle;
 
   void handle_attach(const Frame& f, double now_s, std::vector<Outgoing>& out)
       THINAIR_REQUIRES(mu_);
@@ -174,7 +192,14 @@ class SessionHub {
   // the erasure-draw determinism argument assumes kData frames are
   // processed one at a time per session.
   mutable util::Mutex mu_;
-  std::unordered_map<std::uint64_t, Session> sessions_ THINAIR_GUARDED_BY(mu_);
+  // Session records are pooled: close/expire releases the record to the
+  // free list and the next attach reuses it via reset() — at the 10k
+  // target, attach/bye churn must not allocate per session. Declared
+  // before sessions_ so the handles release into a live pool during
+  // destruction.
+  runtime::ObjectPool<Session> session_pool_ THINAIR_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, SessionHandle> sessions_
+      THINAIR_GUARDED_BY(mu_);
   TimerWheel wheel_ THINAIR_GUARDED_BY(mu_);
 };
 

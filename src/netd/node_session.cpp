@@ -20,6 +20,35 @@ constexpr std::uint32_t kMaxUniverse = 4096;
 
 NodeSession::NodeSession(NodeConfig config)
     : config_(config), payload_rng_(config.payload_seed) {
+  reset(config);
+}
+
+void NodeSession::reset(NodeConfig config) {
+  config_ = config;
+  state_ = State::kIdle;
+  error_.clear();
+  payload_rng_ = channel::Rng(config.payload_seed);
+  // Keep the arena's blocks for the next lifecycle; the watermark trim
+  // stops one oversized session from pinning its peak.
+  arena_.reset();
+  arena_.trim_to_watermark();
+  queue_.clear();
+  inflight_.reset();
+  inflight_wire_.clear();
+  last_send_s_ = 0.0;
+  retries_ = 0;
+  outbox_.clear();
+  next_relay_ = 0;
+  pending_relays_.clear();
+  last_rx_s_ = 0.0;
+  last_probe_s_ = 0.0;
+  attached_ = false;
+  roster_.clear();
+  round_ = 0;
+  round_active_ = false;
+  rx_.clear();
+  alice_.reset();
+  secret_.clear();
   if (config_.node >= 64) fail("node id must be < 64 (NodeSet range)");
   if (config_.members < 2) fail("need at least 2 members");
   if (config_.payload_bytes == 0 || config_.payload_bytes > kMaxPayload)

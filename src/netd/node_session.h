@@ -79,6 +79,14 @@ class NodeSession {
 
   explicit NodeSession(NodeConfig config);
 
+  /// Restore construction-equivalent state for a new config: every state
+  /// machine field returns to its initial value; the payload arena keeps
+  /// its blocks (trimmed to the watermark policy) and containers keep
+  /// their capacity. A pooled NodeSession therefore derives exactly the
+  /// bytes a freshly constructed one would — the runtime::ObjectPool
+  /// contract the daemon's churn path relies on.
+  void reset(NodeConfig config);
+
   /// Queue the attach handshake. Idempotent.
   void start(double now_s);
 

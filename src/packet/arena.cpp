@@ -83,9 +83,39 @@ ByteSpan PayloadArena::copy(ConstByteSpan src) {
 }
 
 void PayloadArena::reset() {
+  // allocated_ is this epoch's peak (rewind never lowers it). Raise the
+  // watermark to it immediately, but let it *decay* geometrically when
+  // epochs shrink: after a handful of small epochs the watermark — and
+  // with it the retained capacity under trim_to_watermark() — converges
+  // back down instead of remembering one pathological epoch forever.
+  watermark_ = std::max(allocated_, watermark_ - watermark_ / 4);
   cursor_ = 0;
   offset_ = 0;
   allocated_ = 0;
+}
+
+std::size_t PayloadArena::trim(std::size_t max_retained_bytes) {
+  std::size_t held = capacity();
+  std::size_t freed = 0;
+  // Only trailing blocks strictly past the cursor are provably free of
+  // live spans; blocks [0, cursor_] stay (so after reset() everything
+  // but the first block is eligible).
+  while (blocks_.size() > cursor_ + 1 &&
+         held - blocks_.back().size >= max_retained_bytes) {
+    held -= blocks_.back().size;
+    freed += blocks_.back().size;
+    blocks_.pop_back();
+  }
+  trimmed_ += freed;
+  return freed;
+}
+
+std::size_t PayloadArena::trim_to_watermark() {
+  // 2x slack over the recent peak: enough that a steady-state epoch never
+  // re-grows (freeing and re-allocating every cycle would defeat the
+  // pool), small enough that a spike's capacity drains within a few
+  // epochs of the decaying watermark.
+  return trim(2 * watermark_ + block_bytes_ + kAlign);
 }
 
 void PayloadArena::rewind(Mark m) {

@@ -57,8 +57,22 @@ class PayloadArena {
   /// Allocate and copy `src` into the arena.
   ByteSpan copy(ConstByteSpan src);
 
-  /// Drop every allocation but keep the blocks for reuse.
+  /// Drop every allocation but keep the blocks for reuse. Also folds the
+  /// ending epoch's peak into the decaying high-watermark that drives
+  /// trim_to_watermark().
   void reset();
+
+  /// Release trailing blocks until at most `max_retained_bytes` of backing
+  /// storage remain. Blocks at or before the current cursor are always
+  /// kept (spans carved from them may still be live), so the full effect
+  /// needs a reset() first. Returns the bytes released.
+  std::size_t trim(std::size_t max_retained_bytes);
+
+  /// The trim policy for pooled reuse: keep roughly twice the recent
+  /// per-epoch peak (the decaying high-watermark) so steady-state reuse
+  /// never reallocates, while one pathological epoch stops pinning its
+  /// peak for the process lifetime. Returns the bytes released.
+  std::size_t trim_to_watermark();
 
   /// A position in the allocation stream; rewind(mark()) frees everything
   /// allocated after the mark (used to bound per-receiver scratch inside
@@ -74,6 +88,12 @@ class PayloadArena {
   [[nodiscard]] std::size_t bytes_allocated() const { return allocated_; }
   /// Total backing storage held.
   [[nodiscard]] std::size_t capacity() const;
+  /// Decaying per-epoch peak of bytes_allocated(): bumped to the epoch's
+  /// peak at every reset(), decaying by a quarter when epochs shrink —
+  /// so it tracks the recent steady state, not the all-time spike.
+  [[nodiscard]] std::size_t high_watermark() const { return watermark_; }
+  /// Cumulative backing bytes released by trim()/trim_to_watermark().
+  [[nodiscard]] std::uint64_t trimmed_bytes() const { return trimmed_; }
 
  private:
   struct Block {
@@ -88,6 +108,8 @@ class PayloadArena {
   std::size_t cursor_ = 0;  // index of the block being bumped
   std::size_t offset_ = 0;  // bump position within blocks_[cursor_]
   std::size_t allocated_ = 0;
+  std::size_t watermark_ = 0;   // decaying per-epoch peak (see reset())
+  std::uint64_t trimmed_ = 0;   // cumulative bytes released by trims
 };
 
 }  // namespace thinair::packet

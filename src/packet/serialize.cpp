@@ -50,14 +50,21 @@ class Reader {
 
 Payload encode(const ReceptionReport& r) {
   Payload out;
-  put_u32(out, r.universe);
-  // Bitmap over the universe: ceil(N / 8) bytes.
-  std::vector<std::uint8_t> bitmap((r.universe + 7) / 8, 0);
-  for (std::uint32_t idx : r.received) {
-    if (idx < r.universe) bitmap[idx / 8] |= static_cast<std::uint8_t>(1u << (idx % 8));
-  }
-  out.insert(out.end(), bitmap.begin(), bitmap.end());
+  encode_into(r, out);
   return out;
+}
+
+void encode_into(const ReceptionReport& r, Payload& out) {
+  out.clear();
+  put_u32(out, r.universe);
+  // Bitmap over the universe: ceil(N / 8) bytes, appended zeroed then set
+  // in place (no temporary).
+  const std::size_t head = out.size();
+  out.resize(head + (r.universe + 7) / 8, 0);
+  for (std::uint32_t idx : r.received) {
+    if (idx < r.universe)
+      out[head + idx / 8] |= static_cast<std::uint8_t>(1u << (idx % 8));
+  }
 }
 
 std::optional<ReceptionReport> decode_report(
@@ -83,6 +90,12 @@ std::optional<ReceptionReport> decode_report(
 
 Payload encode(const Announcement& a) {
   Payload out;
+  encode_into(a, out);
+  return out;
+}
+
+void encode_into(const Announcement& a, Payload& out) {
+  out.clear();
   put_u16(out, static_cast<std::uint16_t>(a.combinations.size()));
   for (const Combination& c : a.combinations) {
     put_u16(out, static_cast<std::uint16_t>(c.terms().size()));
@@ -91,7 +104,6 @@ Payload encode(const Announcement& a) {
       out.push_back(t.coeff.value());
     }
   }
-  return out;
 }
 
 std::optional<Announcement> decode_announcement(

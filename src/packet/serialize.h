@@ -27,6 +27,9 @@ struct ReceptionReport {
 };
 
 [[nodiscard]] Payload encode(const ReceptionReport& r);
+/// encode() into a caller-owned payload (cleared first): a pooled session
+/// re-encoding into the same buffer every round reuses its capacity.
+void encode_into(const ReceptionReport& r, Payload& out);
 [[nodiscard]] std::optional<ReceptionReport> decode_report(
     std::span<const std::uint8_t> bytes);
 
@@ -37,6 +40,8 @@ struct Announcement {
 };
 
 [[nodiscard]] Payload encode(const Announcement& a);
+/// encode() into a caller-owned payload (cleared first), reusing capacity.
+void encode_into(const Announcement& a, Payload& out);
 [[nodiscard]] std::optional<Announcement> decode_announcement(
     std::span<const std::uint8_t> bytes);
 

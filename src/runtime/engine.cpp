@@ -16,6 +16,11 @@ packet::PayloadArena& worker_arena() {
   return arena;
 }
 
+WorkerPools& worker_pools() {
+  thread_local WorkerPools pools;
+  return pools;
+}
+
 RunStats run_scenario(const Scenario& scenario, const RunOptions& options,
                       ResultSink& sink) {
   const SweepPlan plan = scenario.plan();
@@ -34,7 +39,11 @@ RunStats run_scenario(const Scenario& scenario, const RunOptions& options,
   const auto t0 = std::chrono::steady_clock::now();
 
   const auto run_case = [&](std::size_t index) {
+    // Reset applies the decaying-watermark trim too, so a worker whose
+    // arena ballooned on one pathological case gives the memory back
+    // instead of pinning the peak for the whole sweep.
     worker_arena().reset();
+    worker_arena().trim_to_watermark();
     CaseSpec spec{index, derive_seed(options.master_seed, index),
                   plan.at(index)};
     const CaseResult result = scenario.run(spec);

@@ -1,0 +1,257 @@
+#pragma once
+// Free-list object pools for session-churn hot paths.
+//
+// Serving millions of sessions means create/run/destroy is itself a hot
+// loop: per-session state (GroupSecretSession, NodeSession, hub Session
+// records, payload arenas) must be recycled, not rebuilt, or setup and
+// teardown allocate at the exact rate the round loop was taught not to.
+// An ObjectPool<T> keeps every T it ever constructed and hands them out
+// acquire/reset/release style (the HFT LimitPool/OrderPool idiom):
+//
+//   acquire(args...)   pops a free object and calls obj->reset(args...),
+//                      or constructs T(args...) when the free list is dry;
+//   release(obj)       pushes the object back on the free list.
+//
+// The reset contract makes pooling invisible: T::reset(args...) must
+// leave the object observably equivalent to a freshly constructed
+// T(args...) — the golden-NDJSON suites hold the sessions to that
+// bit-for-bit (docs/sessions.md). If reset() throws, the pool catches
+// the object back onto the free list before rethrowing, so a failed
+// acquire can neither leak the slot nor hand out a half-reset object
+// later (reset implementations validate before mutating).
+//
+// Threading: the pool itself is externally synchronized — one per worker
+// thread (runtime::worker_pools()) or guarded by the owner's mutex
+// (SessionHub). Only the counters are shared: monitoring threads read
+// PoolStats without the owner's lock, so each counter is a relaxed
+// atomic on its own cache line (the HubStats pattern) and never
+// false-shares with its neighbours or the free list.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "packet/arena.h"
+
+namespace thinair::runtime {
+
+/// Plain-value copy of a pool's counters (PoolStats itself is atomic and
+/// therefore not copyable).
+struct PoolCounters {
+  std::uint64_t acquired = 0;     // total acquire() calls that succeeded
+  std::uint64_t constructed = 0;  // acquires served by a fresh T(args...)
+  std::uint64_t released = 0;     // objects returned to the free list
+  std::uint64_t reset_failures = 0;  // reset() threw; object went back
+
+  /// Fraction of acquires served from the free list. 1.0 once warm.
+  [[nodiscard]] double hit_rate() const {
+    return acquired == 0
+               ? 1.0
+               : static_cast<double>(acquired - constructed) /
+                     static_cast<double>(acquired);
+  }
+};
+
+/// Shared counters of one pool. Each atomic sits on its own cache line so
+/// the owning worker and any monitoring reader never false-share.
+struct PoolStats {
+  alignas(64) std::atomic<std::uint64_t> acquired{0};
+  alignas(64) std::atomic<std::uint64_t> constructed{0};
+  alignas(64) std::atomic<std::uint64_t> released{0};
+  alignas(64) std::atomic<std::uint64_t> reset_failures{0};
+
+  [[nodiscard]] PoolCounters snapshot() const {
+    PoolCounters c;
+    c.acquired = acquired.load(std::memory_order_relaxed);
+    c.constructed = constructed.load(std::memory_order_relaxed);
+    c.released = released.load(std::memory_order_relaxed);
+    c.reset_failures = reset_failures.load(std::memory_order_relaxed);
+    return c;
+  }
+};
+
+template <typename T>
+class ObjectPool {
+ public:
+  ObjectPool() = default;
+  ObjectPool(const ObjectPool&) = delete;
+  ObjectPool& operator=(const ObjectPool&) = delete;
+
+  /// RAII lease on a pooled object: releases back to the pool on
+  /// destruction. Move-only; the pool must outlive its handles.
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(ObjectPool* pool, T* obj) : pool_(pool), obj_(obj) {}
+    Handle(Handle&& other) noexcept
+        : pool_(std::exchange(other.pool_, nullptr)),
+          obj_(std::exchange(other.obj_, nullptr)) {}
+    Handle& operator=(Handle&& other) noexcept {
+      if (this != &other) {
+        reset();
+        pool_ = std::exchange(other.pool_, nullptr);
+        obj_ = std::exchange(other.obj_, nullptr);
+      }
+      return *this;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle() { reset(); }
+
+    /// Release the object back to the pool now.
+    void reset() {
+      if (obj_ != nullptr) pool_->release(obj_);
+      pool_ = nullptr;
+      obj_ = nullptr;
+    }
+
+    [[nodiscard]] T* get() const { return obj_; }
+    T* operator->() const { return obj_; }
+    T& operator*() const { return *obj_; }
+    explicit operator bool() const { return obj_ != nullptr; }
+
+   private:
+    ObjectPool* pool_ = nullptr;
+    T* obj_ = nullptr;
+  };
+
+  /// A ready-to-use object: recycled via T::reset(args...) when the free
+  /// list has one, freshly constructed otherwise. The caller owns it
+  /// until release() (prefer acquire_scoped for exception safety).
+  template <typename... Args>
+  [[nodiscard]] T* acquire(Args&&... args) {
+    if (!free_.empty()) {
+      T* obj = free_.back();
+      free_.pop_back();
+      try {
+        obj->reset(std::forward<Args>(args)...);
+      } catch (...) {
+        // The object stays pooled (reset validates before mutating, so
+        // it is still resettable); the failed acquire is not counted.
+        free_.push_back(obj);
+        stats_.reset_failures.fetch_add(1, std::memory_order_relaxed);
+        throw;
+      }
+      stats_.acquired.fetch_add(1, std::memory_order_relaxed);
+      return obj;
+    }
+    storage_.push_back(std::make_unique<T>(std::forward<Args>(args)...));
+    stats_.acquired.fetch_add(1, std::memory_order_relaxed);
+    stats_.constructed.fetch_add(1, std::memory_order_relaxed);
+    return storage_.back().get();
+  }
+
+  /// acquire() wrapped in a Handle that releases on scope exit.
+  template <typename... Args>
+  [[nodiscard]] Handle acquire_scoped(Args&&... args) {
+    return Handle(this, acquire(std::forward<Args>(args)...));
+  }
+
+  /// Return `obj` to the free list. Must be a pointer this pool handed
+  /// out; the object is not touched until its next acquire-time reset().
+  void release(T* obj) {
+    free_.push_back(obj);
+    stats_.released.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const PoolStats& stats() const { return stats_; }
+  /// Objects ever constructed (live + free).
+  [[nodiscard]] std::size_t size() const { return storage_.size(); }
+  [[nodiscard]] std::size_t available() const { return free_.size(); }
+
+  /// Visit every object ever constructed, live and free — for aggregate
+  /// accounting (e.g. total arena capacity). Same synchronization domain
+  /// as acquire/release.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const auto& obj : storage_) f(*obj);
+  }
+
+ private:
+  std::vector<std::unique_ptr<T>> storage_;
+  std::vector<T*> free_;
+  PoolStats stats_;
+};
+
+/// Pool of per-session PayloadArenas. Release keeps every arena's blocks
+/// (the whole point: the next session bumps into warm memory) but applies
+/// the trim policy, so one pathological session cannot pin its peak for
+/// the process lifetime — capacity decays back toward the steady-state
+/// watermark (packet/arena.h).
+class ArenaPool {
+ public:
+  /// RAII lease releasing through the ArenaPool (so the trim policy
+  /// applies), not the raw object pool.
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(ArenaPool* pool, packet::PayloadArena* arena)
+        : pool_(pool), arena_(arena) {}
+    Handle(Handle&& other) noexcept
+        : pool_(std::exchange(other.pool_, nullptr)),
+          arena_(std::exchange(other.arena_, nullptr)) {}
+    Handle& operator=(Handle&& other) noexcept {
+      if (this != &other) {
+        reset();
+        pool_ = std::exchange(other.pool_, nullptr);
+        arena_ = std::exchange(other.arena_, nullptr);
+      }
+      return *this;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle() { reset(); }
+
+    void reset() {
+      if (arena_ != nullptr) pool_->release(arena_);
+      pool_ = nullptr;
+      arena_ = nullptr;
+    }
+
+    [[nodiscard]] packet::PayloadArena* get() const { return arena_; }
+    packet::PayloadArena* operator->() const { return arena_; }
+    packet::PayloadArena& operator*() const { return *arena_; }
+    explicit operator bool() const { return arena_ != nullptr; }
+
+   private:
+    ArenaPool* pool_ = nullptr;
+    packet::PayloadArena* arena_ = nullptr;
+  };
+
+  /// An empty arena, blocks retained from its previous session.
+  [[nodiscard]] packet::PayloadArena* acquire() { return pool_.acquire(); }
+
+  [[nodiscard]] Handle acquire_scoped() { return Handle(this, acquire()); }
+
+  void release(packet::PayloadArena* arena) {
+    arena->reset();
+    trimmed_bytes_.fetch_add(arena->trim_to_watermark(),
+                             std::memory_order_relaxed);
+    pool_.release(arena);
+  }
+
+  [[nodiscard]] const PoolStats& stats() const { return pool_.stats(); }
+  [[nodiscard]] std::size_t size() const { return pool_.size(); }
+  [[nodiscard]] std::size_t available() const { return pool_.available(); }
+  /// Cumulative bytes returned to the allocator by release-time trims.
+  [[nodiscard]] std::uint64_t trimmed_bytes() const {
+    return trimmed_bytes_.load(std::memory_order_relaxed);
+  }
+  /// Total backing storage currently held across all pooled arenas.
+  /// Owner-thread accounting, like size()/available().
+  [[nodiscard]] std::size_t capacity() const {
+    std::size_t total = 0;
+    pool_.for_each(
+        [&](const packet::PayloadArena& a) { total += a.capacity(); });
+    return total;
+  }
+
+ private:
+  ObjectPool<packet::PayloadArena> pool_;
+  alignas(64) std::atomic<std::uint64_t> trimmed_bytes_{0};
+};
+
+}  // namespace thinair::runtime

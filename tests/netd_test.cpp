@@ -390,6 +390,109 @@ TEST(NetdHub, RejectsGarbageAndCountsIt) {
   EXPECT_TRUE(out.empty());
 }
 
+// attach/bye churn must recycle the pooled session records: after the
+// first cycle, opening a session costs a reset(), not a construction.
+TEST(NetdHub, AttachByeChurnRecyclesSessionRecords) {
+  SessionHub hub(HubConfig{});
+  std::vector<Outgoing> out;
+  const auto control = [](FrameType t, std::uint64_t session,
+                          std::uint16_t node, std::uint32_t aux) {
+    Frame f;
+    f.header.type = static_cast<std::uint8_t>(t);
+    f.header.session = session;
+    f.header.node = node;
+    f.header.aux = aux;
+    return encode(f);
+  };
+
+  constexpr std::size_t kCycles = 512;
+  for (std::size_t i = 0; i < kCycles; ++i) {
+    const std::uint64_t id = 1 + i;
+    for (std::uint16_t node = 0; node < 2; ++node) {
+      out.clear();
+      hub.on_datagram(control(FrameType::kAttach, id, node, 2), 0.0, out);
+    }
+    ASSERT_EQ(hub.session_count(), 1u);
+    for (std::uint16_t node = 0; node < 2; ++node) {
+      out.clear();
+      hub.on_datagram(control(FrameType::kBye, id, node, 0), 0.0, out);
+    }
+    ASSERT_EQ(hub.session_count(), 0u);
+  }
+
+  const runtime::PoolCounters c = hub.session_pool_counters();
+  EXPECT_EQ(c.acquired, kCycles);
+  EXPECT_EQ(c.released, kCycles);
+  EXPECT_EQ(c.constructed, 1u) << "churn rebuilt records instead of recycling";
+  EXPECT_GE(c.hit_rate(), 0.99);
+  EXPECT_EQ(hub.stats().sessions_opened.load(), kCycles);
+  EXPECT_EQ(hub.stats().sessions_closed.load(), kCycles);
+}
+
+// Pumps two externally owned NodeSessions against a hub to completion and
+// returns the (agreed) secret — the reuse test below runs the same pair
+// twice through reset().
+std::vector<std::uint8_t> pump_pair(SessionHub& hub, NodeSession& n0,
+                                    NodeSession& n1) {
+  NodeSession* nodes[2] = {&n0, &n1};
+  double now = 0.0;
+  std::vector<std::uint8_t> dgram;
+  std::vector<Outgoing> out;
+  const auto route = [&](const std::vector<Outgoing>& msgs) {
+    for (const Outgoing& o : msgs)
+      if (o.node < 2) nodes[o.node]->on_datagram(o.datagram, now);
+  };
+  n0.start(now);
+  n1.start(now);
+  while (now < 600.0) {
+    bool any = true;
+    while (any) {
+      any = false;
+      for (NodeSession* n : nodes)
+        while (n->poll_datagram(dgram)) {
+          any = true;
+          out.clear();
+          hub.on_datagram(dgram, now, out);
+          route(out);
+        }
+    }
+    if (n0.done() && n1.done()) break;
+    for (NodeSession* n : nodes)
+      if (n->failed()) {
+        ADD_FAILURE() << "node failed: " << n->error();
+        return {};
+      }
+    now += 0.02;
+    for (NodeSession* n : nodes) n->on_tick(now);
+    out.clear();
+    hub.on_tick(now, out);
+    route(out);
+  }
+  EXPECT_TRUE(n0.done() && n1.done()) << "session did not complete";
+  EXPECT_EQ(n0.secret(), n1.secret());
+  return n0.secret();
+}
+
+// The NodeSession reset contract: a reused terminal on a fresh hub at the
+// same seed derives exactly the bytes its first (freshly constructed)
+// lifecycle did.
+TEST(NetdNode, ResetRestoresConstructionEquivalentState) {
+  NodeSession a(make_node(0, 2));
+  NodeSession b(make_node(1, 2));
+  HubConfig hc;
+  hc.seed = 77;
+
+  SessionHub first_hub(hc);
+  const std::vector<std::uint8_t> first = pump_pair(first_hub, a, b);
+  EXPECT_FALSE(first.empty());
+
+  a.reset(make_node(0, 2));
+  b.reset(make_node(1, 2));
+  EXPECT_TRUE(a.secret().empty()) << "reset kept the previous secret";
+  SessionHub second_hub(hc);
+  EXPECT_EQ(pump_pair(second_hub, a, b), first);
+}
+
 TEST(TimerWheel, FiresAtDeadline) {
   TimerWheel wheel(0.5, 8);
   wheel.schedule(1, 1.0);

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_sessions.json against the checked-in snapshot.
+
+Usage: check_bench_sessions.py BASELINE FRESH [--tolerance FRAC]
+
+Absolute sessions/s moves with the runner hardware, so throughput deltas
+are printed for the CI log but only sanity-checked loosely. What *fails*
+the check is the pooled-lifecycle contract itself:
+
+  - structural drift: a missing field or a malformed file;
+  - incomplete churn: completed != sessions, or zero cycles verified
+    against fresh construction;
+  - a cold pool: hit rate below 0.99 means create/destroy is constructing
+    instead of recycling — the free list is broken;
+  - an untrimmed arena: trimmed_bytes == 0 means the spike phase's fat
+    blocks were retained forever — the watermark policy is broken;
+  - RSS growth over the final half of the run beyond the bench's own
+    recorded fraction bound — pooled steady state must not leak;
+  - a throughput collapse beyond --tolerance (default 0.50, loose: CI
+    runners differ wildly from the snapshot machine) vs the snapshot.
+"""
+
+import argparse
+import json
+import sys
+
+MIN_HIT_RATE = 0.99
+MAX_RSS_GROWTH = 0.05
+
+
+def fail(msg):
+    print(f"check_bench_sessions: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=0.50,
+                        help="allowed fractional sessions/s drop vs the "
+                             "snapshot (default 0.50)")
+    opts = parser.parse_args()
+
+    try:
+        with open(opts.baseline) as f:
+            base = json.load(f)
+        with open(opts.fresh) as f:
+            fresh = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load inputs: {e}")
+
+    for key in ("bench", "sessions", "completed", "with_nonzero_secret",
+                "verified_vs_fresh", "sessions_per_s", "wall_s",
+                "pool_acquired", "pool_constructed", "pool_hit_rate",
+                "arena_trimmed_bytes", "arena_capacity_bytes",
+                "rss_mid_kb", "rss_final_kb",
+                "rss_growth_final_half_frac"):
+        if key not in fresh:
+            fail(f"fresh output lost the '{key}' field")
+    if fresh["bench"] != "micro_sessions":
+        fail(f"unexpected bench '{fresh['bench']}'")
+
+    if fresh["completed"] != fresh["sessions"]:
+        fail(f"only {fresh['completed']}/{fresh['sessions']} cycles completed")
+    if fresh["verified_vs_fresh"] == 0:
+        fail("no cycles were verified against fresh construction")
+    if fresh["pool_acquired"] < fresh["sessions"]:
+        fail("pool acquired fewer objects than sessions ran: stats are "
+             "malformed")
+    if fresh["pool_hit_rate"] < MIN_HIT_RATE:
+        fail(f"pool hit rate {fresh['pool_hit_rate']:.4f} < {MIN_HIT_RATE}: "
+             "session churn is constructing instead of recycling")
+    if fresh["arena_trimmed_bytes"] == 0:
+        fail("arena trimmed 0 bytes: the watermark trim policy never fired")
+    if fresh["rss_growth_final_half_frac"] > MAX_RSS_GROWTH:
+        fail(f"RSS grew {100 * fresh['rss_growth_final_half_frac']:.1f}% over "
+             f"the final half (> {100 * MAX_RSS_GROWTH:.0f}%): pooled steady "
+             "state is leaking")
+
+    ref = base.get("sessions_per_s", 0)
+    delta = "" if not ref else \
+        f"  ({100.0 * (fresh['sessions_per_s'] - ref) / ref:+.1f}% vs snapshot)"
+    print(f"[churn] {fresh['completed']} cycles, "
+          f"{fresh['sessions_per_s']:.0f} sessions/s{delta}")
+    print(f"[pool]  hit rate {fresh['pool_hit_rate']:.6f} "
+          f"({fresh['pool_constructed']} constructed / "
+          f"{fresh['pool_acquired']} acquired), "
+          f"{fresh['verified_vs_fresh']} cycles verified vs fresh")
+    print(f"[arena] {fresh['arena_capacity_bytes'] // 1024} KiB retained, "
+          f"{fresh['arena_trimmed_bytes'] // 1024} KiB trimmed")
+    print(f"[rss]   {fresh['rss_mid_kb']} -> {fresh['rss_final_kb']} KiB "
+          f"({100 * fresh['rss_growth_final_half_frac']:+.2f}% final half)")
+
+    if ref > 0:
+        drop = (ref - fresh["sessions_per_s"]) / ref
+        if drop > opts.tolerance:
+            fail(f"sessions/s regressed {100 * drop:.1f}% "
+                 f"(> {100 * opts.tolerance:.0f}% tolerance): the session "
+                 "lifecycle got slower")
+    print("check_bench_sessions: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -306,7 +306,19 @@ RULES = [
     Rule(
         "raw-alloc-hot-path",
         rule_raw_alloc_hot_path,
-        scope=[r"^src/gf/", r"^src/core/", r"^src/packet/"],
+        # The pooled session-lifecycle paths (runtime/object_pool.h, the
+        # hub's session records, the daemon's NodeSessions) are hot at the
+        # churn target too: create/destroy recycles pooled objects and
+        # arena blocks, so a raw new/malloc there defeats the pools the
+        # same way it defeats the arena in the round loop.
+        scope=[
+            r"^src/gf/",
+            r"^src/core/",
+            r"^src/packet/",
+            r"^src/runtime/object_pool\.h$",
+            r"^src/netd/hub\.(h|cpp)$",
+            r"^src/netd/node_session\.(h|cpp)$",
+        ],
     ),
     Rule(
         "netd-wire-decode",
